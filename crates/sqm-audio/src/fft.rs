@@ -1,0 +1,231 @@
+//! Radix-2 iterative FFT (no external dependencies).
+//!
+//! The analysis transform of the audio pipeline. Double-precision,
+//! in-place, decimation-in-time with precomputed twiddles; sizes must be
+//! powers of two. Accuracy is validated by impulse/sinusoid spectra,
+//! Parseval's identity and forward/inverse round-trips.
+
+/// A complex number (we avoid pulling in a numerics crate for one type).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// `re + i·im`.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// Additive identity.
+    pub const ZERO: Complex = Complex::new(0.0, 0.0);
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Complex {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+fn bit_reverse_permute(data: &mut [Complex]) {
+    let n = data.len();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(
+        n.is_power_of_two(),
+        "FFT size must be a power of two, got {n}"
+    );
+    bit_reverse_permute(data);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for x in data {
+            x.re *= scale;
+            x.im *= scale;
+        }
+    }
+}
+
+/// In-place forward FFT.
+pub fn fft(data: &mut [Complex]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT (normalized by `1/n`).
+pub fn ifft(data: &mut [Complex]) {
+    transform(data, true);
+}
+
+/// Forward FFT of a real block; returns the complex spectrum.
+pub fn fft_real(samples: &[f64]) -> Vec<Complex> {
+    let mut data: Vec<Complex> = samples.iter().map(|&s| Complex::new(s, 0.0)).collect();
+    fft(&mut data);
+    data
+}
+
+/// Power spectrum (squared magnitudes) of a real block — the quantity the
+/// psychoacoustic model consumes. Only the first `n/2 + 1` bins are
+/// meaningful for real input; all `n` are returned for simplicity.
+pub fn power_spectrum(samples: &[f64]) -> Vec<f64> {
+    fft_real(samples)
+        .into_iter()
+        .map(Complex::norm_sq)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 16];
+        x[0] = Complex::new(1.0, 0.0);
+        fft(&mut x);
+        for bin in x {
+            assert!((bin.re - 1.0).abs() < EPS && bin.im.abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn sinusoid_concentrates_in_its_bin() {
+        let n = 64;
+        let k = 5;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = power_spectrum(&samples);
+        // Energy at bins k and n−k, nothing elsewhere.
+        for (bin, &p) in spec.iter().enumerate() {
+            if bin == k || bin == n - k {
+                assert!(
+                    (p - (n as f64 / 2.0).powi(2)).abs() < 1e-6,
+                    "bin {bin}: {p}"
+                );
+            } else {
+                assert!(p < 1e-12, "bin {bin} leaked {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_recovers_signal() {
+        let n = 128;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 + 11) % 97) as f64 / 97.0 - 0.5)
+            .collect();
+        let mut data: Vec<Complex> = samples.iter().map(|&s| Complex::new(s, 0.0)).collect();
+        fft(&mut data);
+        ifft(&mut data);
+        for (orig, back) in samples.iter().zip(&data) {
+            assert!((orig - back.re).abs() < EPS);
+            assert!(back.im.abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn parseval_identity() {
+        let n = 256;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.7).sin() + 0.3 * (i as f64 * 2.1).cos())
+            .collect();
+        let time_energy: f64 = samples.iter().map(|s| s * s).sum();
+        let freq_energy: f64 = power_spectrum(&samples).iter().sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut x = vec![Complex::ZERO; 12];
+        fft(&mut x);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 1.1).cos()).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| 2.0 * x + 3.0 * y).collect();
+        let fa = fft_real(&a);
+        let fb = fft_real(&b);
+        let fsum = fft_real(&sum);
+        for k in 0..n {
+            let expect = Complex::new(
+                2.0 * fa[k].re + 3.0 * fb[k].re,
+                2.0 * fa[k].im + 3.0 * fb[k].im,
+            );
+            assert!((fsum[k].re - expect.re).abs() < 1e-9);
+            assert!((fsum[k].im - expect.im).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Subband analysis: grouping the power spectrum into critical-band-like
+//! subbands.
+//!
+//! A transform coder allocates bits per *subband*, not per FFT bin. The
+//! band edges follow an approximately logarithmic (Bark-like) spacing:
+//! narrow bands at low frequencies, wide at high. The number of bands the
+//! encoder actually resolves is one of the quality levers — low quality
+//! collapses the top of the spectrum into a few coarse bands.
+
+/// A subband layout over an `n_bins`-bin half spectrum.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BandLayout {
+    /// Band edges as bin indices: band `b` covers `edges[b]..edges[b+1]`.
+    edges: Vec<usize>,
+}
+
+impl BandLayout {
+    /// A log-spaced layout with `bands` bands over `n_bins` spectral bins
+    /// (`n_bins` = FFT size / 2). Every band is non-empty.
+    pub fn log_spaced(n_bins: usize, bands: usize) -> BandLayout {
+        assert!(bands >= 1 && bands <= n_bins, "need 1..=n_bins bands");
+        let mut edges = Vec::with_capacity(bands + 1);
+        edges.push(0);
+        let ratio = (n_bins as f64).powf(1.0 / bands as f64);
+        let mut last = 0usize;
+        for b in 1..=bands {
+            let ideal = ratio.powi(b as i32).round() as usize;
+            // Force strict growth and the exact final edge.
+            let edge = if b == bands {
+                n_bins
+            } else {
+                ideal.clamp(last + 1, n_bins - (bands - b))
+            };
+            edges.push(edge);
+            last = edge;
+        }
+        BandLayout { edges }
+    }
+
+    /// Number of bands.
+    pub fn bands(&self) -> usize {
+        self.edges.len() - 1
+    }
+
+    /// Layouts always have at least one band.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The bin range of band `b`.
+    pub fn band_range(&self, b: usize) -> std::ops::Range<usize> {
+        self.edges[b]..self.edges[b + 1]
+    }
+
+    /// Sum the power spectrum into per-band energies. `spectrum` must have
+    /// at least `n_bins` entries (only the half spectrum is read).
+    pub fn band_energies(&self, spectrum: &[f64]) -> Vec<f64> {
+        (0..self.bands())
+            .map(|b| self.band_range(b).map(|bin| spectrum[bin]).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_covers_spectrum_without_gaps() {
+        for bands in [1usize, 4, 8, 20] {
+            let l = BandLayout::log_spaced(128, bands);
+            assert_eq!(l.bands(), bands);
+            assert!(!l.is_empty());
+            assert_eq!(l.band_range(0).start, 0);
+            assert_eq!(l.band_range(bands - 1).end, 128);
+            for b in 0..bands {
+                assert!(
+                    !l.band_range(b).is_empty(),
+                    "band {b} empty at {bands} bands"
+                );
+                if b > 0 {
+                    assert_eq!(l.band_range(b).start, l.band_range(b - 1).end);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn log_spacing_widens_with_frequency() {
+        let l = BandLayout::log_spaced(256, 8);
+        let first = l.band_range(0).len();
+        let last = l.band_range(7).len();
+        assert!(last > first, "log layout: {first} vs {last}");
+    }
+
+    #[test]
+    fn band_energies_sum_to_total() {
+        let l = BandLayout::log_spaced(64, 6);
+        let spectrum: Vec<f64> = (0..64).map(|i| (i % 7) as f64 + 0.5).collect();
+        let total: f64 = spectrum.iter().sum();
+        let bands = l.band_energies(&spectrum);
+        assert_eq!(bands.len(), 6);
+        assert!((bands.iter().sum::<f64>() - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_band_takes_everything() {
+        let l = BandLayout::log_spaced(32, 1);
+        let spectrum = vec![1.0; 32];
+        assert_eq!(l.band_energies(&spectrum), vec![32.0]);
+    }
+
+    #[test]
+    fn max_bands_is_one_bin_each() {
+        let l = BandLayout::log_spaced(16, 16);
+        for b in 0..16 {
+            assert_eq!(l.band_range(b).len(), 1);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # sqm-audio — adaptive audio-codec workload
+//!
+//! A second application domain for the quality-management method (the
+//! paper's introduction motivates "multimedia and telecommunications"
+//! broadly, evaluating on video; this crate shows nothing in the method is
+//! video-specific). An adaptive transform audio coder processes fixed-size
+//! sample blocks through a pipeline of atomic actions:
+//!
+//! 1. **analysis** — windowed FFT of the block ([`fft`]);
+//! 2. **subband** — grouping spectral energy into critical-band-like
+//!    subbands ([`filterbank`]);
+//! 3. **allocate** — psychoacoustic masking and bit allocation
+//!    ([`psycho`]);
+//! 4. **pack** — quantization and bitstream packing (cost ∝ allocated
+//!    bits).
+//!
+//! The quality level controls transform resolution, subband count and
+//! allocation precision, so execution times are non-decreasing in quality
+//! exactly as Definition 1 requires. [`pipeline`] assembles the scheduled
+//! [`sqm_core::system::ParameterizedSystem`] and a content-driven
+//! execution-time source from a deterministic [`signal`] generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fft;
+pub mod filterbank;
+pub mod pipeline;
+pub mod psycho;
+pub mod signal;
+
+pub use pipeline::{AudioCodec, AudioConfig, AudioExec};
+pub use signal::SyntheticAudio;

@@ -1,0 +1,146 @@
+//! Psychoacoustic masking and bit allocation (simplified).
+//!
+//! The coder spends its bit budget where the ear will notice: each band's
+//! energy spreads a masking threshold over its neighbours; bands whose
+//! signal-to-mask ratio (SMR) is high get bits, masked bands get none.
+//! The quality level controls the bit budget; the model keeps the
+//! qualitative properties that matter for the workload — louder bands mask
+//! neighbours, and the allocated-bit total is monotone in the budget.
+
+/// Per-band masking threshold: each band's energy contributes to its
+/// neighbours attenuated by `spread_db` dB per band of distance, plus an
+/// absolute floor.
+pub fn masking_thresholds(band_energy: &[f64], spread_db: f64, floor: f64) -> Vec<f64> {
+    let n = band_energy.len();
+    let mut thr = vec![floor; n];
+    for (src, &e) in band_energy.iter().enumerate() {
+        if e <= 0.0 {
+            continue;
+        }
+        for (dst, t) in thr.iter_mut().enumerate() {
+            let dist = src.abs_diff(dst) as f64;
+            // Energy-domain attenuation of `spread_db` dB per band, and a
+            // −10 dB offset so a band does not fully mask itself.
+            let atten_db = 10.0 + spread_db * dist;
+            *t += e * 10f64.powf(-atten_db / 10.0);
+        }
+    }
+    thr
+}
+
+/// Signal-to-mask ratios in dB (clamped at 0 for fully masked bands).
+pub fn smr_db(band_energy: &[f64], thresholds: &[f64]) -> Vec<f64> {
+    band_energy
+        .iter()
+        .zip(thresholds)
+        .map(|(&e, &t)| {
+            if e <= 0.0 || t <= 0.0 {
+                0.0
+            } else {
+                (10.0 * (e / t).log10()).max(0.0)
+            }
+        })
+        .collect()
+}
+
+/// Greedy water-filling bit allocation: repeatedly give one bit (≈ 6 dB of
+/// coded SNR) to the band with the highest outstanding SMR until `budget`
+/// bits are spent. Returns per-band bit counts.
+pub fn allocate_bits(smr: &[f64], budget: usize) -> Vec<usize> {
+    let mut need: Vec<f64> = smr.to_vec();
+    let mut bits = vec![0usize; smr.len()];
+    for _ in 0..budget {
+        let Some((band, &most)) = need
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("SMRs are finite"))
+        else {
+            break;
+        };
+        if most <= 0.0 {
+            break; // everything masked: spend nothing further
+        }
+        bits[band] += 1;
+        need[band] -= 6.0;
+    }
+    bits
+}
+
+/// End-to-end allocation for one block: energies → thresholds → SMR →
+/// bits. Returns `(bits_per_band, total_allocated)`.
+pub fn allocate_block(band_energy: &[f64], budget: usize) -> (Vec<usize>, usize) {
+    let thr = masking_thresholds(band_energy, 3.0, 1e-9);
+    let smr = smr_db(band_energy, &thr);
+    let bits = allocate_bits(&smr, budget);
+    let total = bits.iter().sum();
+    (bits, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loud_band_raises_neighbour_thresholds() {
+        // A single masker, so the spread is exactly symmetric.
+        let mut energy = vec![0.0; 10];
+        energy[4] = 1.0;
+        let thr = masking_thresholds(&energy, 3.0, 0.0);
+        assert!(thr[4] > thr[0], "closer bands are masked harder");
+        assert!(thr[3] > thr[1]);
+        assert!(thr[5] > thr[8]);
+        // Symmetric around the masker.
+        assert!((thr[3] - thr[5]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_bands_get_no_bits() {
+        // One dominant band next to a whisper: the whisper sits below the
+        // dominant band's spread and receives nothing.
+        let mut energy = vec![0.0; 8];
+        energy[2] = 100.0;
+        energy[3] = 1e-4;
+        let (bits, _) = allocate_block(&energy, 32);
+        assert!(bits[2] > 0, "the masker is coded");
+        assert_eq!(bits[3], 0, "the masked whisper is skipped");
+    }
+
+    #[test]
+    fn allocation_total_is_monotone_in_budget() {
+        let energy: Vec<f64> = (0..12).map(|i| 1.0 + (i % 5) as f64).collect();
+        let mut prev = 0;
+        for budget in [0usize, 4, 16, 64, 256] {
+            let (_, total) = allocate_block(&energy, budget);
+            assert!(total >= prev);
+            assert!(total <= budget);
+            prev = total;
+        }
+    }
+
+    #[test]
+    fn allocation_prefers_high_smr() {
+        let mut energy = vec![1.0; 6];
+        energy[1] = 1_000.0;
+        let thr = masking_thresholds(&energy, 3.0, 1e-9);
+        let smr = smr_db(&energy, &thr);
+        let bits = allocate_bits(&smr, 8);
+        assert!(
+            bits[1] >= *bits.iter().max().unwrap() - 1,
+            "dominant band leads: {bits:?}"
+        );
+    }
+
+    #[test]
+    fn silence_consumes_nothing() {
+        let energy = vec![0.0; 8];
+        let (bits, total) = allocate_block(&energy, 100);
+        assert_eq!(total, 0);
+        assert!(bits.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn smr_clamps_at_zero() {
+        let smr = smr_db(&[1.0, 0.0], &[100.0, 1.0]);
+        assert_eq!(smr, vec![0.0, 0.0]);
+    }
+}

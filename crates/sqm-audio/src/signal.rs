@@ -1,0 +1,150 @@
+//! Deterministic synthetic audio.
+//!
+//! Generates program material with the cost-relevant structure of real
+//! audio: *tonal* passages (few dominant partials — cheap to mask, few
+//! bits) alternating with *transient/noisy* passages (flat spectra — every
+//! band audible, expensive), plus slow loudness drift. `(seed, block)`
+//! fully determines every sample.
+
+/// SplitMix64 — stateless hash (same construction as the video source).
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn unit(x: u64) -> f64 {
+    (splitmix64(x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A deterministic audio clip, block-addressable.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticAudio {
+    /// Samples per block (the codec's FFT size).
+    pub block_size: usize,
+    /// Blocks per passage (tonal/noisy alternation period).
+    pub passage_len: usize,
+    seed: u64,
+}
+
+impl SyntheticAudio {
+    /// A clip with the given block size (must be a power of two).
+    pub fn new(block_size: usize, passage_len: usize, seed: u64) -> SyntheticAudio {
+        assert!(block_size.is_power_of_two());
+        SyntheticAudio {
+            block_size,
+            passage_len: passage_len.max(1),
+            seed,
+        }
+    }
+
+    fn passage(&self, block: usize) -> u64 {
+        (block / self.passage_len) as u64
+    }
+
+    /// `true` when the block lies in a noisy (transient-rich) passage.
+    pub fn is_noisy(&self, block: usize) -> bool {
+        unit(self.seed ^ self.passage(block).wrapping_mul(0x51_7C_C1)) > 0.5
+    }
+
+    /// Complexity factor in roughly `[0.6, 1.6]`: how expensive this block
+    /// is to analyse and code relative to average program material.
+    pub fn complexity(&self, block: usize) -> f64 {
+        let base = if self.is_noisy(block) { 1.25 } else { 0.8 };
+        let wobble = 0.35 * (unit(self.seed ^ (block as u64) << 17) - 0.5);
+        (base + wobble).clamp(0.6, 1.6)
+    }
+
+    /// The samples of one block.
+    pub fn block(&self, block: usize) -> Vec<f64> {
+        let n = self.block_size;
+        let p = self.passage(block);
+        let loudness = 0.3 + 0.7 * unit(self.seed ^ p.wrapping_mul(0x00AB_CDEF));
+        let noisy = self.is_noisy(block);
+        // Tonal passages: 3 stable partials; noisy: broadband hash noise
+        // with a weak tone.
+        let f1 = 2.0 + (unit(self.seed ^ p) * (n as f64 / 8.0)).floor();
+        let f2 = f1 * 2.0;
+        let f3 = f1 * 3.5;
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                let tones = (2.0 * std::f64::consts::PI * f1 * t).sin()
+                    + 0.5 * (2.0 * std::f64::consts::PI * f2 * t).sin()
+                    + 0.25 * (2.0 * std::f64::consts::PI * f3 * t).sin();
+                let noise = 2.0 * unit(self.seed ^ (block as u64) << 24 ^ i as u64) - 1.0;
+                let sample = if noisy {
+                    0.3 * tones + 0.9 * noise
+                } else {
+                    tones + 0.05 * noise
+                };
+                loudness * sample
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::power_spectrum;
+
+    #[test]
+    fn determinism_and_seed_sensitivity() {
+        let a = SyntheticAudio::new(256, 8, 1);
+        let b = SyntheticAudio::new(256, 8, 1);
+        let c = SyntheticAudio::new(256, 8, 2);
+        assert_eq!(a.block(5), b.block(5));
+        assert_ne!(a.block(5), c.block(5));
+        assert_eq!(a.complexity(7), b.complexity(7));
+    }
+
+    #[test]
+    fn blocks_have_expected_size_and_range() {
+        let a = SyntheticAudio::new(128, 4, 9);
+        for block in 0..20 {
+            let samples = a.block(block);
+            assert_eq!(samples.len(), 128);
+            assert!(samples.iter().all(|s| s.abs() <= 3.0));
+        }
+    }
+
+    #[test]
+    fn tonal_blocks_concentrate_spectral_energy() {
+        let a = SyntheticAudio::new(256, 4, 3);
+        // Find one tonal and one noisy block.
+        let tonal = (0..64)
+            .find(|&b| !a.is_noisy(b))
+            .expect("some tonal passage");
+        let noisy = (0..64)
+            .find(|&b| a.is_noisy(b))
+            .expect("some noisy passage");
+        let flatness = |block: usize| -> f64 {
+            let spec = power_spectrum(&a.block(block));
+            let half = &spec[1..128];
+            let peak = half.iter().cloned().fold(f64::MIN, f64::max);
+            let total: f64 = half.iter().sum();
+            peak / total // high = concentrated (tonal)
+        };
+        assert!(
+            flatness(tonal) > flatness(noisy),
+            "tonal {tonal} should be spectrally concentrated vs noisy {noisy}"
+        );
+    }
+
+    #[test]
+    fn complexity_reflects_passage_kind() {
+        let a = SyntheticAudio::new(128, 6, 5);
+        for block in 0..48 {
+            let c = a.complexity(block);
+            assert!((0.6..=1.6).contains(&c));
+            if a.is_noisy(block) {
+                assert!(c > 0.9, "noisy blocks are expensive: {c}");
+            }
+        }
+    }
+}

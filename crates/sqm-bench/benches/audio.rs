@@ -1,0 +1,54 @@
+//! Audio-codec kernels: host cost of FFT, subband grouping and
+//! psychoacoustic allocation, per quality level — the second domain's
+//! version of the quality/cost monotonicity the method relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqm_audio::fft::{fft, Complex};
+use sqm_audio::{AudioCodec, AudioConfig};
+use sqm_core::quality::Quality;
+use std::hint::black_box;
+
+fn bench_fft_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for n in [64usize, 256, 1024] {
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut x = data.clone();
+                fft(black_box(&mut x));
+                black_box(x)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let codec = AudioCodec::new(AudioConfig::streaming(7)).unwrap();
+    let stages = [
+        ("analysis", 0usize),
+        ("subband", 1),
+        ("allocate", 2),
+        ("pack", 3),
+    ];
+    for (name, action) in stages {
+        let mut group = c.benchmark_group(format!("audio_{name}"));
+        for q in [0u8, 2, 4] {
+            group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+                b.iter(|| {
+                    black_box(codec.run_action_kernel(
+                        black_box(1),
+                        black_box(action),
+                        Quality::new(q),
+                    ))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fft_sizes, bench_pipeline_stages);
+criterion_main!(benches);

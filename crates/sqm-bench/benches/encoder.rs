@@ -1,0 +1,56 @@
+//! Real kernel work of the synthetic encoder: host CPU time of each
+//! pipeline stage as a function of the quality level. This is the ground
+//! truth behind Definition 1's "execution times non-decreasing with
+//! quality": motion search grows quadratically with the window, DCT /
+//! quantization and entropy coding grow with coefficient precision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqm_core::quality::Quality;
+use sqm_mpeg::{blocks, EncoderConfig, MpegEncoder};
+use std::hint::black_box;
+
+fn bench_stages(c: &mut Criterion) {
+    let encoder = MpegEncoder::new(EncoderConfig::paper(7)).unwrap();
+    // Action indices: 1 = mb0 motion estimation, 2 = mb0 DCT, 3 = mb0 VLC.
+    let stages = [("motion_est", 1usize), ("dct_quant", 2), ("entropy", 3)];
+    for (name, action) in stages {
+        let mut group = c.benchmark_group(format!("kernel_{name}"));
+        for q in [0u8, 3, 6] {
+            group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+                b.iter(|| {
+                    black_box(encoder.run_action_kernel(
+                        black_box(1),
+                        black_box(action),
+                        Quality::new(q),
+                    ))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let encoder = MpegEncoder::new(EncoderConfig::paper(7)).unwrap();
+    let block = encoder.video().block(1, 10, 0);
+
+    let mut group = c.benchmark_group("primitives");
+    group.bench_function("fdct8", |b| {
+        b.iter(|| black_box(blocks::fdct8(black_box(&block))));
+    });
+    let coeffs = blocks::fdct8(&block);
+    group.bench_function("quantize", |b| {
+        b.iter(|| black_box(blocks::quantize(black_box(&coeffs), black_box(20))));
+    });
+    let levels = blocks::quantize(&coeffs, 20);
+    group.bench_function("entropy_size", |b| {
+        b.iter(|| black_box(blocks::entropy_size_bits(black_box(&levels))));
+    });
+    group.bench_function("encode_block_q3", |b| {
+        b.iter(|| black_box(blocks::encode_block(black_box(&block), black_box(3))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Cost of evaluating `tD(s, q)` under each policy and each evaluation
+//! strategy: precomputed O(1) lookup, faithful online suffix scan, and the
+//! brute-force O((n−i)²) definition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqm_core::policy::{AveragePolicy, MixedPolicy, Policy, SafePolicy};
+use sqm_core::quality::Quality;
+use sqm_mpeg::{EncoderConfig, MpegEncoder};
+use std::hint::black_box;
+
+fn bench_t_d(c: &mut Criterion) {
+    let encoder = MpegEncoder::new(EncoderConfig::paper(7)).unwrap();
+    let sys = encoder.system();
+    let mixed = MixedPolicy::new(sys);
+    let safe = SafePolicy::new(sys);
+    let average = AveragePolicy::new(sys);
+    let q = Quality::new(3);
+
+    let mut group = c.benchmark_group("t_d");
+    for state in [0usize, 594, 1_100] {
+        group.bench_with_input(BenchmarkId::new("mixed_lookup", state), &state, |b, &s| {
+            b.iter(|| black_box(mixed.t_d(black_box(s), black_box(q))));
+        });
+        group.bench_with_input(BenchmarkId::new("mixed_scan", state), &state, |b, &s| {
+            b.iter(|| black_box(mixed.t_d_scan(black_box(s), black_box(q))));
+        });
+        group.bench_with_input(BenchmarkId::new("safe", state), &state, |b, &s| {
+            b.iter(|| black_box(safe.t_d(black_box(s), black_box(q))));
+        });
+        group.bench_with_input(BenchmarkId::new("average", state), &state, |b, &s| {
+            b.iter(|| black_box(average.t_d(black_box(s), black_box(q))));
+        });
+    }
+    group.finish();
+
+    // The brute-force definition, only at a late state (it is quadratic).
+    let mut group = c.benchmark_group("t_d_naive");
+    group.sample_size(10);
+    group.bench_function("mixed_naive_state_1100", |b| {
+        b.iter(|| black_box(mixed.t_d_naive(black_box(1_100), black_box(q))));
+    });
+    group.finish();
+}
+
+fn bench_policy_construction(c: &mut Criterion) {
+    let encoder = MpegEncoder::new(EncoderConfig::paper(7)).unwrap();
+    let sys = encoder.system();
+    let mut group = c.benchmark_group("policy_construction");
+    group.bench_function("mixed", |b| {
+        b.iter(|| black_box(MixedPolicy::new(black_box(sys))));
+    });
+    group.bench_function("average", |b| {
+        b.iter(|| black_box(AveragePolicy::new(black_box(sys))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_t_d, bench_policy_construction);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Host-side latency of one Quality Manager decision, per implementation.
+//!
+//! This is the platform-independent version of §4.2: whatever the absolute
+//! numbers, the *ratio* numeric : regions : relaxation is the paper's
+//! result. The numeric manager's cost grows with the remaining suffix; the
+//! symbolic managers are O(|Q|) / O(|Q| + |ρ|) table probes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqm_core::compiler::{compile_regions, compile_relaxation};
+use sqm_core::manager::{LookupManager, NumericManager, QualityManager, RelaxedManager};
+use sqm_core::policy::MixedPolicy;
+use sqm_core::relaxation::StepSet;
+use sqm_core::time::Time;
+use sqm_mpeg::{EncoderConfig, MpegEncoder};
+use std::hint::black_box;
+
+fn bench_managers(c: &mut Criterion) {
+    let encoder = MpegEncoder::new(EncoderConfig::paper(7)).unwrap();
+    let sys = encoder.system();
+    let policy = MixedPolicy::new(sys);
+    let regions = compile_regions(sys);
+    let relaxation = compile_relaxation(sys, &regions, StepSet::paper_mpeg());
+
+    let mut group = c.benchmark_group("qm_decide");
+    // Representative states: cycle start, mid-frame, near the end; the
+    // decision time sits mid-band so every manager does comparable probing.
+    for state in [0usize, 594, 1_100] {
+        let t =
+            Time::from_ns((regions.t_d(state, sys.qualities().min()).as_ns() as f64 * 0.5) as i64);
+        group.bench_with_input(BenchmarkId::new("numeric", state), &state, |b, &s| {
+            let mut m = NumericManager::new(sys, &policy);
+            b.iter(|| black_box(m.decide(black_box(s), black_box(t))));
+        });
+        group.bench_with_input(BenchmarkId::new("regions", state), &state, |b, &s| {
+            let mut m = LookupManager::new(&regions);
+            b.iter(|| black_box(m.decide(black_box(s), black_box(t))));
+        });
+        group.bench_with_input(BenchmarkId::new("relaxation", state), &state, |b, &s| {
+            let mut m = RelaxedManager::new(&regions, &relaxation);
+            b.iter(|| black_box(m.decide(black_box(s), black_box(t))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_quality_count(c: &mut Criterion) {
+    // How the symbolic lookup scales with |Q| (it is the probe count).
+    let mut group = c.benchmark_group("qm_decide_vs_quality_count");
+    for nq in [2usize, 4, 7, 12, 16] {
+        let config = EncoderConfig {
+            n_quality: nq,
+            ..EncoderConfig::paper(7)
+        };
+        let encoder = MpegEncoder::new(config).unwrap();
+        let sys = encoder.system();
+        let regions = compile_regions(sys);
+        let t = Time::from_ms(200);
+        group.bench_with_input(BenchmarkId::new("regions", nq), &nq, |b, _| {
+            let mut m = LookupManager::new(&regions);
+            b.iter(|| black_box(m.decide(black_box(594), black_box(t))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_managers, bench_quality_count);
+criterion_main!(benches);

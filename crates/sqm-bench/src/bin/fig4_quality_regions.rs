@@ -1,0 +1,76 @@
+//! Figure 4: quality regions `Rq` — for each state, the interval of
+//! elapsed times in which the Quality Manager chooses a given constant
+//! quality level (Proposition 2).
+//!
+//! The binary prints the region boundaries `tD(s_i, q)` for the paper's
+//! MPEG encoder (the `|A|·|Q| = 8,323` integers of §4.1) in summary form,
+//! plus a vertical slice showing the interval structure at sample states.
+//!
+//! ```text
+//! cargo run -p sqm-bench --release --bin fig4_quality_regions
+//! ```
+
+use sqm_bench::report;
+use sqm_core::compiler::{compile_regions, TableStats};
+use sqm_core::quality::Quality;
+use sqm_mpeg::{EncoderConfig, MpegEncoder};
+
+fn main() {
+    let encoder = MpegEncoder::new(EncoderConfig::paper(2024)).unwrap();
+    let sys = encoder.system();
+    let table = compile_regions(sys);
+    let stats = TableStats::of_regions(&table);
+
+    println!("== Fig. 4: quality regions Rq for the MPEG encoder ==\n");
+    println!(
+        "region table: {} states x {} levels = {} integers ({} KiB)\n",
+        table.n_states(),
+        table.qualities().len(),
+        stats.integers,
+        stats.bytes / 1024
+    );
+
+    // Region boundaries along the cycle, one series per quality level
+    // (downsampled for the chart).
+    let sample: Vec<usize> = (0..table.n_states()).step_by(24).collect();
+    let series: Vec<Vec<f64>> = sys
+        .qualities()
+        .iter()
+        .map(|q| {
+            sample
+                .iter()
+                .map(|&i| table.t_d(i, q).as_millis_f64())
+                .collect()
+        })
+        .collect();
+    println!("region boundaries tD(s_i, q) in ms over the cycle (one digit per level):\n");
+    let with_glyphs: Vec<(&[f64], char)> = series
+        .iter()
+        .enumerate()
+        .map(|(qi, s)| (s.as_slice(), char::from_digit(qi as u32, 10).unwrap()))
+        .collect();
+    print!("{}", report::chart(&with_glyphs, 64, 16));
+
+    // A vertical slice: the interval structure at a few states.
+    for state in [0, sys.n_actions() / 2, sys.n_actions() - 1] {
+        println!("\nregions at state s{state} (intervals (lower, upper] in ms):");
+        let mut rows = vec![vec![
+            "quality".to_string(),
+            "lower".to_string(),
+            "upper".to_string(),
+        ]];
+        for q in sys.qualities().iter_desc() {
+            let (lo, up) = table.bounds(state, q);
+            rows.push(vec![q.to_string(), format!("{lo}"), format!("{up}")]);
+        }
+        print!("{}", report::table(&rows));
+    }
+
+    // Sanity: regions partition each state's feasible time axis.
+    let q0 = Quality::MIN;
+    let mid = sys.n_actions() / 2;
+    let feasible_top = table.t_d(mid, q0);
+    let (choice, _) = table.choose(mid, feasible_top);
+    assert_eq!(choice, Some(q0), "top of the feasible axis belongs to qmin");
+    println!("\nsanity: state s{mid} feasible up to {feasible_top}; above that, no region admits the state");
+}

@@ -1,0 +1,95 @@
+//! Figure 5: the control relaxation principle — from a state `(s_i, t_i)`,
+//! actual times can land anywhere in the accessibility cone
+//! `t_i ≤ t_j ≤ t_i + Cwc(a_{i+1}..a_j, q)`; relaxation for `r` steps is
+//! sound iff the whole cone stays inside the quality region `Rq`
+//! (equations (1)–(3) of §3.3).
+//!
+//! The binary picks a mid-frame state and shows, for growing `r`, the cone
+//! bounds against the region boundaries, and where the condition first
+//! fails — the case Fig. 5 illustrates.
+//!
+//! ```text
+//! cargo run -p sqm-bench --release --bin fig5_relaxation_principle
+//! ```
+
+use sqm_bench::report;
+use sqm_core::compiler::compile_regions;
+use sqm_core::time::Time;
+use sqm_mpeg::{EncoderConfig, MpegEncoder};
+
+fn main() {
+    let encoder = MpegEncoder::new(EncoderConfig::paper(2024)).unwrap();
+    let sys = encoder.system();
+    let regions = compile_regions(sys);
+
+    let state = sys.n_actions() / 3;
+    // Put the state mid-band for its region: halfway between bounds.
+    let (choice, _) = regions.choose(state, Time::ZERO);
+    let q = choice.expect("t = 0 is feasible");
+    let (lo, up) = regions.bounds(state, q);
+    // Sit mid-band (or just under the upper bound when the band is open).
+    let t = if lo.is_infinite() {
+        up - Time::from_ms(40)
+    } else {
+        Time::from_ns((lo.as_ns() + up.as_ns()) / 2)
+    };
+
+    println!("== Fig. 5: control relaxation principle at (s{state}, t = {t}) in R{q} ==\n");
+    println!("region at s{state}: ({lo}, {up}]");
+    println!("accessibility cone after j steps: [t, t + Cwc(a_i+1..a_j, {q})]\n");
+
+    let mut rows = vec![vec![
+        "j (steps ahead)".to_string(),
+        "cone upper t + Cwc".to_string(),
+        "tD(s_i+j, q) - Cwc".to_string(),
+        "lower bound ok".to_string(),
+        "cone inside Rq".to_string(),
+    ]];
+    let mut first_failure = None;
+    for j in 0..60usize {
+        let s_j = state + j;
+        if s_j >= sys.n_actions() {
+            break;
+        }
+        let wc = sys.prefix().wc_range(state, s_j, q);
+        let cone_up = t + wc;
+        // Condition (2): tD(s_j, q) − Cwc ≥ t; condition (3): t > tD(s_{j}, q+1).
+        let upper_ok = regions.t_d(s_j, q) - wc >= t;
+        let lower_ok = if q == sys.qualities().max() {
+            true
+        } else {
+            t > regions.t_d(s_j, q.up())
+        };
+        let ok = upper_ok && lower_ok;
+        if ok {
+            if j < 5 || j % 10 == 0 {
+                rows.push(vec![
+                    format!("{j}"),
+                    format!("{cone_up}"),
+                    format!("{}", regions.t_d(s_j, q) - wc),
+                    format!("{lower_ok}"),
+                    "yes".to_string(),
+                ]);
+            }
+        } else if first_failure.is_none() {
+            first_failure = Some(j);
+            rows.push(vec![
+                format!("{j}"),
+                format!("{cone_up}"),
+                format!("{}", regions.t_d(s_j, q) - wc),
+                format!("{lower_ok}"),
+                "NO — relaxation must stop before here".to_string(),
+            ]);
+            break;
+        }
+    }
+    print!("{}", report::table(&rows));
+
+    match first_failure {
+        Some(j) => println!(
+            "\nthe Quality Manager can be relaxed for at most r = {j} steps from this state \
+             (Fig. 5 shows exactly such a failing cone)"
+        ),
+        None => println!("\nthe cone stayed inside Rq for the whole probed horizon"),
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 6: control relaxation regions `Rrq ⊆ Rq` — the shrunken interval
+//! from which quality `q` is guaranteed for the next `r` actions
+//! (Proposition 3).
+//!
+//! The binary prints, along the cycle, the exact `Rq` band and the `Rrq`
+//! band for several `r ∈ ρ`, showing the inclusion and how the relaxation
+//! band thins as `r` grows.
+//!
+//! ```text
+//! cargo run -p sqm-bench --release --bin fig6_relaxation_region
+//! ```
+
+use sqm_bench::report;
+use sqm_core::compiler::{compile_regions, compile_relaxation};
+use sqm_core::quality::Quality;
+use sqm_core::relaxation::StepSet;
+use sqm_mpeg::{EncoderConfig, MpegEncoder};
+
+fn main() {
+    let encoder = MpegEncoder::new(EncoderConfig::paper(2024)).unwrap();
+    let sys = encoder.system();
+    let regions = compile_regions(sys);
+    let rho = StepSet::paper_mpeg();
+    let relax = compile_relaxation(sys, &regions, rho.clone());
+
+    // Choose a mid-table quality level for the illustration.
+    let q = Quality::new(3);
+    println!("== Fig. 6: relaxation regions Rrq ⊆ Rq at quality {q} ==\n");
+
+    let sample: Vec<usize> = (0..sys.n_actions() - rho.max_step()).step_by(24).collect();
+    let rq_upper: Vec<f64> = sample
+        .iter()
+        .map(|&i| regions.bounds(i, q).1.as_millis_f64())
+        .collect();
+    let rq_lower: Vec<f64> = sample
+        .iter()
+        .map(|&i| regions.bounds(i, q).0.as_millis_f64())
+        .collect();
+    let r10_upper: Vec<f64> = sample
+        .iter()
+        .map(|&i| relax.bounds(i, q, 1).1.as_millis_f64())
+        .collect();
+    let r50_upper: Vec<f64> = sample
+        .iter()
+        .map(|&i| relax.bounds(i, q, 5).1.as_millis_f64())
+        .collect();
+
+    println!("bands over the cycle, in ms (U/L = Rq bounds, a = R10q upper, b = R50q upper):\n");
+    print!(
+        "{}",
+        report::chart(
+            &[
+                (&rq_upper, 'U'),
+                (&rq_lower, 'L'),
+                (&r10_upper, 'a'),
+                (&r50_upper, 'b'),
+            ],
+            64,
+            18,
+        )
+    );
+
+    // Interval table at one state.
+    let state = sys.n_actions() / 4;
+    println!("\nintervals at state s{state} for quality {q}:");
+    let mut rows = vec![vec![
+        "region".to_string(),
+        "lower (ms)".to_string(),
+        "upper (ms)".to_string(),
+    ]];
+    let (lo, up) = regions.bounds(state, q);
+    rows.push(vec!["Rq".into(), format!("{lo}"), format!("{up}")]);
+    for (ri, &r) in rho.steps().iter().enumerate() {
+        let (lo, up) = relax.bounds(state, q, ri);
+        rows.push(vec![format!("R{r}q"), format!("{lo}"), format!("{up}")]);
+    }
+    print!("{}", report::table(&rows));
+
+    // The inclusion the figure illustrates, checked exhaustively here.
+    let mut shrink_violations = 0;
+    for &i in &sample {
+        let (lo_q, up_q) = regions.bounds(i, q);
+        for ri in 0..rho.len() {
+            let (lo_r, up_r) = relax.bounds(i, q, ri);
+            if lo_r >= up_r {
+                continue; // empty interval near the end of the cycle
+            }
+            if lo_r < lo_q || up_r > up_q {
+                shrink_violations += 1;
+            }
+        }
+    }
+    println!(
+        "\ninclusion check Rrq ⊆ Rq over {} sampled states: {} violations",
+        sample.len(),
+        shrink_violations
+    );
+    assert_eq!(shrink_violations, 0);
+}

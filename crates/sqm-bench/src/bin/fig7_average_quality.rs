@@ -1,0 +1,77 @@
+//! Figure 7: average quality level per frame for the three Quality
+//! Managers over the 29-frame sequence.
+//!
+//! Paper shape: both symbolic managers sit visibly above the numeric one
+//! (their lower overhead leaves more budget, which the policy converts
+//! into quality), with control relaxation highest; all three track the
+//! content's difficulty frame by frame.
+//!
+//! ```text
+//! cargo run -p sqm-bench --release --bin fig7_average_quality
+//! ```
+
+use sqm_bench::report;
+use sqm_bench::{run_paper_experiment, ExperimentResult, PaperExperiment};
+use sqm_mpeg::metrics;
+
+fn main() {
+    let frames = 29;
+    let experiment = PaperExperiment::new(2024);
+    let results = run_paper_experiment(&experiment, frames, 0.12, 7);
+
+    let series: Vec<Vec<f64>> = results
+        .iter()
+        .map(ExperimentResult::quality_per_frame)
+        .collect();
+
+    println!("== Fig. 7: average quality level per frame ==\n");
+    print!(
+        "{}",
+        report::csv(
+            "frame",
+            &[
+                ("numeric", &series[0]),
+                ("symbolic_no_relax", &series[1]),
+                ("symbolic_relax", &series[2]),
+            ],
+        )
+    );
+
+    println!("\nchart (n = numeric, s = regions, r = relaxation):\n");
+    print!(
+        "{}",
+        report::chart(
+            &[(&series[0], 'n'), (&series[1], 's'), (&series[2], 'r')],
+            58,
+            14
+        )
+    );
+
+    println!("\nmean over all frames:");
+    let mut rows = vec![vec![
+        "manager".to_string(),
+        "avg quality".to_string(),
+        "mean PSNR dB".to_string(),
+    ]];
+    for r in &results {
+        let psnr = metrics::video_quality_series(&experiment.encoder, &r.trace);
+        let mean_psnr = psnr.iter().sum::<f64>() / psnr.len().max(1) as f64;
+        rows.push(vec![
+            r.kind.label().to_string(),
+            format!("{:.3}", r.avg_quality()),
+            format!("{mean_psnr:.2}"),
+        ]);
+    }
+    print!("{}", report::table(&rows));
+
+    // The paper's qualitative claim.
+    assert!(
+        results[2].avg_quality() >= results[0].avg_quality(),
+        "symbolic quality must not fall below numeric"
+    );
+    println!(
+        "\nshape check: relaxation ≥ regions ≥ numeric in mean quality: {}",
+        results[2].avg_quality() >= results[1].avg_quality()
+            && results[1].avg_quality() >= results[0].avg_quality()
+    );
+}

@@ -1,0 +1,16 @@
+//! # sqm-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§4) and
+//! the ablations listed in `DESIGN.md`. Each figure/table has a dedicated
+//! binary (`cargo run -p sqm-bench --release --bin fig7_average_quality`);
+//! the Criterion benches (`cargo bench -p sqm-bench`) measure host-side
+//! costs of the Quality Manager implementations, the offline compiler, the
+//! policies and the encoder kernels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{run_paper_experiment, ExperimentResult, ManagerKind, PaperExperiment};

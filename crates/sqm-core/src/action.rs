@@ -1,0 +1,210 @@
+//! Actions and deadlines.
+//!
+//! The application software is *already scheduled*: a finite sequence of
+//! atomic actions `a_1 … a_n` (blocks of C code in the paper; closures or
+//! simulated workloads here). A deadline function `D` assigns absolute
+//! completion deadlines to a subset of the actions — in the MPEG evaluation a
+//! single global deadline on the last action of each cycle.
+
+use crate::time::Time;
+use std::fmt;
+
+/// Index of an action in the scheduled sequence (0-based).
+pub type ActionId = usize;
+
+/// Static description of one scheduled action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ActionInfo {
+    /// Human-readable name (e.g. `"mb17.dct"`), used in traces and reports.
+    pub name: String,
+    /// Free-form classification used by workload generators (e.g. which
+    /// pipeline stage this action belongs to). Not interpreted by the QM.
+    pub kind: u32,
+}
+
+impl ActionInfo {
+    /// A named action of the default kind.
+    pub fn named(name: impl Into<String>) -> ActionInfo {
+        ActionInfo {
+            name: name.into(),
+            kind: 0,
+        }
+    }
+
+    /// A named action with a workload-specific kind tag.
+    pub fn with_kind(name: impl Into<String>, kind: u32) -> ActionInfo {
+        ActionInfo {
+            name: name.into(),
+            kind,
+        }
+    }
+}
+
+impl fmt::Display for ActionInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The deadline function `D : A ⇀ Time` (partial; not every action carries a
+/// deadline). Deadlines are relative to the start of the cycle.
+///
+/// ```
+/// use sqm_core::action::DeadlineMap;
+/// use sqm_core::time::Time;
+/// let mut d = DeadlineMap::new(5);
+/// d.set(4, Time::from_ms(30));
+/// assert_eq!(d.get(4), Some(Time::from_ms(30)));
+/// assert_eq!(d.get(0), None);
+/// assert_eq!(d.last_constrained(), Some(4));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeadlineMap {
+    deadlines: Vec<Option<Time>>,
+}
+
+impl DeadlineMap {
+    /// An empty deadline map over `n` actions.
+    pub fn new(n: usize) -> DeadlineMap {
+        DeadlineMap {
+            deadlines: vec![None; n],
+        }
+    }
+
+    /// A map with a single deadline on the last action — the configuration
+    /// of the paper's MPEG experiment (one global deadline per cycle).
+    pub fn single_global(n: usize, deadline: Time) -> DeadlineMap {
+        let mut m = DeadlineMap::new(n);
+        if n > 0 {
+            m.set(n - 1, deadline);
+        }
+        m
+    }
+
+    /// Number of actions covered by the map.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.deadlines.len()
+    }
+
+    /// `true` when the map covers zero actions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.deadlines.is_empty()
+    }
+
+    /// Assign (or overwrite) the deadline of action `k`.
+    ///
+    /// # Panics
+    /// If `k` is out of range.
+    pub fn set(&mut self, k: ActionId, deadline: Time) {
+        self.deadlines[k] = Some(deadline);
+    }
+
+    /// Remove the deadline of action `k`, if any.
+    pub fn clear(&mut self, k: ActionId) {
+        self.deadlines[k] = None;
+    }
+
+    /// The deadline of action `k`, if constrained.
+    #[inline]
+    pub fn get(&self, k: ActionId) -> Option<Time> {
+        self.deadlines.get(k).copied().flatten()
+    }
+
+    /// Iterate over `(action, deadline)` pairs in sequence order.
+    pub fn iter(&self) -> impl Iterator<Item = (ActionId, Time)> + '_ {
+        self.deadlines
+            .iter()
+            .enumerate()
+            .filter_map(|(k, d)| d.map(|t| (k, t)))
+    }
+
+    /// Number of constrained actions.
+    pub fn constrained_count(&self) -> usize {
+        self.deadlines.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// The last constrained action, if any. The quality-management policy is
+    /// only well-defined when every state still has a deadline ahead of it,
+    /// i.e. when this returns `Some(n-1)`.
+    pub fn last_constrained(&self) -> Option<ActionId> {
+        self.deadlines.iter().rposition(|d| d.is_some())
+    }
+
+    /// `true` when deadlines are non-decreasing in sequence order (a later
+    /// action never has to finish before an earlier one).
+    pub fn is_monotone(&self) -> bool {
+        let mut prev = Time::NEG_INF;
+        for (_, d) in self.iter() {
+            if d < prev {
+                return false;
+            }
+            prev = d;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_global_sets_only_last() {
+        let d = DeadlineMap::single_global(4, Time::from_ms(10));
+        assert_eq!(d.get(3), Some(Time::from_ms(10)));
+        assert_eq!(d.get(0), None);
+        assert_eq!(d.constrained_count(), 1);
+        assert_eq!(d.last_constrained(), Some(3));
+    }
+
+    #[test]
+    fn empty_map() {
+        let d = DeadlineMap::new(0);
+        assert!(d.is_empty());
+        assert_eq!(d.last_constrained(), None);
+        let d = DeadlineMap::single_global(0, Time::from_ms(1));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn set_clear_get() {
+        let mut d = DeadlineMap::new(3);
+        d.set(1, Time::from_us(5));
+        assert_eq!(d.get(1), Some(Time::from_us(5)));
+        d.clear(1);
+        assert_eq!(d.get(1), None);
+        assert_eq!(d.get(99), None, "out-of-range get is None, not a panic");
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut d = DeadlineMap::new(5);
+        d.set(4, Time::from_ms(4));
+        d.set(1, Time::from_ms(1));
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs, vec![(1, Time::from_ms(1)), (4, Time::from_ms(4))]);
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        let mut d = DeadlineMap::new(3);
+        d.set(0, Time::from_ms(2));
+        d.set(2, Time::from_ms(1));
+        assert!(!d.is_monotone());
+        d.set(2, Time::from_ms(2));
+        assert!(d.is_monotone());
+        assert!(DeadlineMap::new(4).is_monotone(), "vacuously monotone");
+    }
+
+    #[test]
+    fn action_info_constructors() {
+        let a = ActionInfo::named("dct");
+        assert_eq!(a.name, "dct");
+        assert_eq!(a.kind, 0);
+        let b = ActionInfo::with_kind("me", 2);
+        assert_eq!(b.kind, 2);
+        assert_eq!(b.to_string(), "me");
+    }
+}

@@ -1,0 +1,379 @@
+//! Linear-constraint approximation of region tables — the "using linear
+//! constraints to approximate control relaxation regions" direction of the
+//! paper's conclusion.
+//!
+//! A region table stores one integer per `(state, quality)`. Over states,
+//! those boundaries are often close to piecewise linear (the MPEG encoder
+//! repeats the same three-action pattern per macroblock), so a handful of
+//! line segments can replace thousands of integers. The approximation must
+//! stay **conservative**:
+//!
+//! * an *upper* bound (`tD`, the latest admissible time) may only be
+//!   approximated from **below** — pretending there is *less* slack than
+//!   there is can lower quality, never break a deadline;
+//! * a *lower* bound (a region's open floor, `tD(·, q+1)`) may only be
+//!   approximated from **above** — shrinking the interval keeps every
+//!   admitted `(state, t)` inside the true region.
+//!
+//! The compressor is a greedy feasible-corridor sweep: each segment starts
+//! anchored at the true value and extends while an **integer** slope exists
+//! keeping the line within `[v_i − tolerance, v_i]` (respectively
+//! `[v_i, v_i + tolerance]`). Integer slopes and intercepts make the
+//! evaluation exact — no floating-point rounding can cross the safe side.
+
+use crate::quality::{Quality, QualitySet};
+use crate::regions::QualityRegionTable;
+use crate::time::Time;
+
+/// Which side of the true curve the approximation must stay on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// Approximate from below: `approx(i) ≤ v(i)` (for admissible-time
+    /// upper bounds).
+    Below,
+    /// Approximate from above: `approx(i) ≥ v(i)` (for region floors).
+    Above,
+}
+
+/// One line segment `value(i) = intercept + slope · (i − start)` covering
+/// states `start..end`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// First state covered.
+    pub start: usize,
+    /// One past the last state covered.
+    pub end: usize,
+    /// Value at `start`, in nanoseconds.
+    pub intercept: i64,
+    /// Slope in nanoseconds per state.
+    pub slope: i64,
+}
+
+/// A compressed, conservatively-approximated column of boundary values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinearApprox {
+    side: Side,
+    n: usize,
+    segments: Vec<Segment>,
+}
+
+impl LinearApprox {
+    /// Compress `values` (finite times) to the given `side` within
+    /// `tolerance`. Infinite entries terminate segments and are stored as
+    /// degenerate single-state segments reproducing the sentinel exactly.
+    pub fn compress(values: &[Time], side: Side, tolerance: Time) -> LinearApprox {
+        assert!(tolerance >= Time::ZERO);
+        let tol = tolerance.as_ns();
+        let n = values.len();
+        let mut segments = Vec::new();
+        let mut i = 0;
+        while i < n {
+            if values[i].is_infinite() {
+                segments.push(Segment {
+                    start: i,
+                    end: i + 1,
+                    intercept: values[i].as_ns(),
+                    slope: 0,
+                });
+                i += 1;
+                continue;
+            }
+            let anchor = values[i].as_ns();
+            // Feasible integer-slope interval; extend greedily.
+            let (mut lo, mut hi) = (i64::MIN, i64::MAX);
+            let mut end = i + 1;
+            while end < n && !values[end].is_infinite() {
+                let dx = (end - i) as i64;
+                let v = values[end].as_ns();
+                // Corridor for the value at `end`:
+                //   Below: anchor + m·dx ∈ [v − tol, v]
+                //   Above: anchor + m·dx ∈ [v, v + tol]
+                let (cor_lo, cor_hi) = match side {
+                    Side::Below => (v - tol - anchor, v - anchor),
+                    Side::Above => (v - anchor, v + tol - anchor),
+                };
+                // Integer slopes m with cor_lo ≤ m·dx ≤ cor_hi.
+                let m_lo = div_ceil(cor_lo, dx);
+                let m_hi = div_floor(cor_hi, dx);
+                let new_lo = lo.max(m_lo);
+                let new_hi = hi.min(m_hi);
+                if new_lo > new_hi {
+                    break;
+                }
+                lo = new_lo;
+                hi = new_hi;
+                end += 1;
+            }
+            // Any slope in [lo, hi] works; prefer the safest one (smallest
+            // for Below, largest for Above) so mid-segment drift leans away
+            // from the unsafe side. For single-state segments use slope 0.
+            let slope = if end == i + 1 {
+                0
+            } else {
+                match side {
+                    Side::Below => lo,
+                    Side::Above => hi,
+                }
+            };
+            segments.push(Segment {
+                start: i,
+                end,
+                intercept: anchor,
+                slope,
+            });
+            i = end;
+        }
+        LinearApprox { side, n, segments }
+    }
+
+    /// Number of states covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when covering zero states.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The segments of the approximation.
+    #[inline]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The conservative side this approximation honours.
+    #[inline]
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// Evaluate the approximation at `state`. O(log #segments).
+    ///
+    /// # Panics
+    /// If the approximation covers zero states or `state` is out of range.
+    pub fn eval(&self, state: usize) -> Time {
+        assert!(state < self.n, "state {state} out of range (n = {})", self.n);
+        let idx = self
+            .segments
+            .partition_point(|s| s.end <= state)
+            .min(self.segments.len() - 1);
+        let s = &self.segments[idx];
+        debug_assert!(s.start <= state && state < s.end);
+        let base = Time::from_ns(s.intercept);
+        if base.is_infinite() {
+            base
+        } else {
+            Time::from_ns(s.intercept + s.slope * (state - s.start) as i64)
+        }
+    }
+
+    /// Storage cost in integers (3 per segment: start, intercept, slope —
+    /// `end` is implied by the next segment).
+    pub fn integer_count(&self) -> usize {
+        self.segments.len() * 3
+    }
+}
+
+fn div_floor(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    a.div_euclid(b)
+}
+
+fn div_ceil(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    -(-a).div_euclid(b)
+}
+
+/// A quality-region table whose per-quality boundary columns are replaced
+/// by conservative linear approximations. `choose` may return a lower
+/// quality than the exact table (by at most the compression tolerance's
+/// worth of slack) but never a higher one — so it inherits the safety of
+/// the exact table.
+#[derive(Clone, Debug)]
+pub struct ApproxRegionTable {
+    qualities: QualitySet,
+    n_states: usize,
+    /// One under-approximated column per quality level.
+    columns: Vec<LinearApprox>,
+}
+
+impl ApproxRegionTable {
+    /// Compress every quality column of `exact` within `tolerance`.
+    pub fn compress(exact: &QualityRegionTable, tolerance: Time) -> ApproxRegionTable {
+        let n = exact.n_states();
+        let columns = exact
+            .qualities()
+            .iter()
+            .map(|q| {
+                let col: Vec<Time> = (0..n).map(|i| exact.t_d(i, q)).collect();
+                LinearApprox::compress(&col, Side::Below, tolerance)
+            })
+            .collect();
+        ApproxRegionTable {
+            qualities: exact.qualities(),
+            n_states: n,
+            columns,
+        }
+    }
+
+    /// Approximated `tD(state, q)` — always `≤` the exact value.
+    pub fn t_d(&self, state: usize, q: Quality) -> Time {
+        self.columns[q.index()].eval(state)
+    }
+
+    /// The manager's choice over the approximated table: maximal `q` with
+    /// `approx_tD(state, q) ≥ t`, plus probe count.
+    pub fn choose(&self, state: usize, t: Time) -> (Option<Quality>, u64) {
+        let mut probes = 0;
+        for q in self.qualities.iter_desc() {
+            probes += 1;
+            if self.t_d(state, q) >= t {
+                return (Some(q), probes);
+            }
+        }
+        (None, probes)
+    }
+
+    /// Total storage in integers (3 per segment), the quantity to compare
+    /// against the exact table's `|A|·|Q|`.
+    pub fn integer_count(&self) -> usize {
+        self.columns.iter().map(LinearApprox::integer_count).sum()
+    }
+
+    /// Number of states covered.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile_regions;
+    use crate::system::{ParameterizedSystem, SystemBuilder};
+
+    fn times(ns: &[i64]) -> Vec<Time> {
+        ns.iter().map(|&v| Time::from_ns(v)).collect()
+    }
+
+    #[test]
+    fn exact_linear_data_compresses_to_one_segment() {
+        let v = times(&[100, 90, 80, 70, 60]);
+        let a = LinearApprox::compress(&v, Side::Below, Time::ZERO);
+        assert_eq!(a.segments().len(), 1);
+        assert_eq!(a.segments()[0].slope, -10);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(a.eval(i), x, "zero tolerance reproduces exactly");
+        }
+        assert_eq!(a.integer_count(), 3);
+    }
+
+    #[test]
+    fn below_side_never_exceeds_truth() {
+        let v = times(&[100, 97, 91, 88, 70, 66, 80, 79, 78]);
+        for tol in [0, 3, 10, 100] {
+            let a = LinearApprox::compress(&v, Side::Below, Time::from_ns(tol));
+            for (i, &x) in v.iter().enumerate() {
+                let approx = a.eval(i);
+                assert!(approx <= x, "tol={tol}, i={i}: {approx:?} > {x:?}");
+                assert!(
+                    approx >= x - Time::from_ns(tol),
+                    "tol={tol}, i={i}: lost more than tolerance"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn above_side_never_undercuts_truth() {
+        let v = times(&[10, 14, 9, 22, 25, 31, 28]);
+        for tol in [0, 2, 50] {
+            let a = LinearApprox::compress(&v, Side::Above, Time::from_ns(tol));
+            for (i, &x) in v.iter().enumerate() {
+                let approx = a.eval(i);
+                assert!(approx >= x);
+                assert!(approx <= x + Time::from_ns(tol));
+            }
+        }
+    }
+
+    #[test]
+    fn larger_tolerance_means_fewer_segments() {
+        let v: Vec<Time> = (0..200)
+            .map(|i| Time::from_ns(10_000 - 37 * i + (i % 7) * 11))
+            .collect();
+        let tight = LinearApprox::compress(&v, Side::Below, Time::ZERO);
+        let loose = LinearApprox::compress(&v, Side::Below, Time::from_ns(100));
+        assert!(loose.segments().len() < tight.segments().len());
+        assert!(loose.segments().len() <= 3, "periodic data compresses well");
+    }
+
+    #[test]
+    fn infinite_entries_are_preserved() {
+        let v = vec![Time::from_ns(5), Time::INF, Time::from_ns(7)];
+        let a = LinearApprox::compress(&v, Side::Below, Time::from_ns(2));
+        assert_eq!(a.eval(0), Time::from_ns(5));
+        assert_eq!(a.eval(1), Time::INF);
+        assert_eq!(a.eval(2), Time::from_ns(7));
+    }
+
+    fn periodic_system(n: usize) -> ParameterizedSystem {
+        let mut b = SystemBuilder::new(3);
+        for i in 0..n {
+            let bump = (i % 3) as i64;
+            b = b.action(
+                &format!("a{i}"),
+                &[10 + bump, 20 + bump, 30 + bump],
+                &[4 + bump, 9 + bump, 14 + bump],
+            );
+        }
+        b.deadline_last(Time::from_ns(n as i64 * 35))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn approx_table_is_conservative_and_smaller() {
+        let s = periodic_system(60);
+        let exact = compile_regions(&s);
+        let approx = ApproxRegionTable::compress(&exact, Time::from_ns(50));
+        for state in 0..60 {
+            for q in s.qualities().iter() {
+                assert!(approx.t_d(state, q) <= exact.t_d(state, q));
+            }
+            // Conservative choice: never a higher quality than exact.
+            for t_ns in (-100..2_000).step_by(53) {
+                let t = Time::from_ns(t_ns);
+                let (a, _) = approx.choose(state, t);
+                let (e, _) = exact.choose(state, t);
+                match (a, e) {
+                    (Some(qa), Some(qe)) => assert!(qa <= qe),
+                    (Some(_), None) => panic!("approx admitted an infeasible state"),
+                    _ => {}
+                }
+            }
+        }
+        assert!(
+            approx.integer_count() < exact.integer_count(),
+            "compression should save space on periodic workloads: {} vs {}",
+            approx.integer_count(),
+            exact.integer_count()
+        );
+    }
+
+    #[test]
+    fn zero_tolerance_table_matches_exact_choices() {
+        let s = periodic_system(30);
+        let exact = compile_regions(&s);
+        let approx = ApproxRegionTable::compress(&exact, Time::ZERO);
+        for state in 0..30 {
+            for t_ns in (-50..1_200).step_by(31) {
+                let t = Time::from_ns(t_ns);
+                assert_eq!(approx.choose(state, t).0, exact.choose(state, t).0);
+            }
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The controlled system `PS ‖ Γ`.
+//!
+//! The controller composes the application software with a Quality Manager
+//! (the paper's Figure 2): before each action it invokes the manager (unless
+//! a relaxation hold is active), **charges the manager's own execution time
+//! to the clock**, runs the action with the chosen quality, and checks
+//! deadlines. Charging QM overhead to the clock is the mechanism behind the
+//! paper's Fig. 7: a cheaper manager leaves more budget for the application,
+//! which the policy then converts into higher quality levels.
+//!
+//! [`CycleRunner`] executes a single cycle; [`CyclicRunner`] iterates cycles
+//! (video frames), carrying earliness/lateness across cycle boundaries the
+//! way a streaming encoder does.
+
+use crate::action::ActionId;
+use crate::manager::QualityManager;
+use crate::quality::Quality;
+use crate::system::ParameterizedSystem;
+use crate::time::Time;
+use crate::timing::TimeTable;
+use crate::trace::{ActionRecord, CycleTrace, Trace};
+
+/// Source of *actual* execution times `C(a, q) ≤ Cwc(a, q)` — the unknown
+/// the paper's whole construction defends against. Implementations live in
+/// `sqm-platform` (stochastic, load-driven); the constant sources here
+/// cover tests and worst-case analyses.
+pub trait ExecutionTimeSource {
+    /// Actual execution time of `action` at quality `q` in cycle `cycle`.
+    fn actual(&mut self, cycle: usize, action: ActionId, q: Quality) -> Time;
+}
+
+/// Deterministic source replaying the timing table itself: either the
+/// average column (the "ideal" trajectory of the speed diagram) or the
+/// worst-case column (the adversarial run safety is proved against).
+#[derive(Clone, Copy, Debug)]
+pub struct ConstantExec<'a> {
+    table: &'a TimeTable,
+    worst: bool,
+}
+
+impl<'a> ConstantExec<'a> {
+    /// Every action takes exactly its average time.
+    pub fn average(table: &'a TimeTable) -> ConstantExec<'a> {
+        ConstantExec {
+            table,
+            worst: false,
+        }
+    }
+
+    /// Every action takes exactly its worst-case time.
+    pub fn worst_case(table: &'a TimeTable) -> ConstantExec<'a> {
+        ConstantExec { table, worst: true }
+    }
+}
+
+impl ExecutionTimeSource for ConstantExec<'_> {
+    fn actual(&mut self, _cycle: usize, action: ActionId, q: Quality) -> Time {
+        if self.worst {
+            self.table.wc(action, q)
+        } else {
+            self.table.av(action, q)
+        }
+    }
+}
+
+/// Closure-backed source for tests and fault injection.
+pub struct FnExec<F>(pub F);
+
+impl<F: FnMut(usize, ActionId, Quality) -> Time> ExecutionTimeSource for FnExec<F> {
+    fn actual(&mut self, cycle: usize, action: ActionId, q: Quality) -> Time {
+        (self.0)(cycle, action, q)
+    }
+}
+
+/// Converts a manager's abstract work units into clock time:
+/// `cost(work) = base + per_unit · work`.
+///
+/// The base covers the fixed invocation cost (clock read, call, branch); the
+/// per-unit slope covers one suffix-scan iteration (numeric manager) or one
+/// table probe (symbolic managers). Calibrations for the virtual platform
+/// live in `sqm-platform::overhead`; [`OverheadModel::ZERO`] disables
+/// overhead accounting entirely (pure functional runs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverheadModel {
+    /// Fixed cost per QM invocation.
+    pub base: Time,
+    /// Cost per work unit.
+    pub per_unit: Time,
+}
+
+impl OverheadModel {
+    /// No overhead: decisions are free (functional testing).
+    pub const ZERO: OverheadModel = OverheadModel {
+        base: Time::ZERO,
+        per_unit: Time::ZERO,
+    };
+
+    /// A model with the given base and slope.
+    pub const fn new(base: Time, per_unit: Time) -> OverheadModel {
+        OverheadModel { base, per_unit }
+    }
+
+    /// Clock cost of a decision that spent `work` units.
+    #[inline]
+    pub fn cost(&self, work: u64) -> Time {
+        self.base + self.per_unit.saturating_mul(work as i64)
+    }
+}
+
+/// Runs single cycles of `PS ‖ Γ`.
+pub struct CycleRunner<'a, M: QualityManager> {
+    sys: &'a ParameterizedSystem,
+    manager: M,
+    overhead: OverheadModel,
+}
+
+impl<'a, M: QualityManager> CycleRunner<'a, M> {
+    /// A runner composing `sys` with `manager` under an overhead model.
+    pub fn new(sys: &'a ParameterizedSystem, manager: M, overhead: OverheadModel) -> Self {
+        CycleRunner {
+            sys,
+            manager,
+            overhead,
+        }
+    }
+
+    /// Access the wrapped manager.
+    pub fn manager(&mut self) -> &mut M {
+        &mut self.manager
+    }
+
+    /// Execute one cycle starting at cycle-relative time `start` (negative
+    /// when the previous cycle finished early), drawing actual times from
+    /// `exec`.
+    pub fn run_cycle<E: ExecutionTimeSource>(
+        &mut self,
+        cycle: usize,
+        start: Time,
+        exec: &mut E,
+    ) -> CycleTrace {
+        let n = self.sys.n_actions();
+        let mut records = Vec::with_capacity(n);
+        let mut t = start;
+        self.manager.reset();
+        let mut i = 0;
+        while i < n {
+            let decision = self.manager.decide(i, t);
+            let overhead = self.overhead.cost(decision.work);
+            t += overhead;
+            let hold = decision.hold.max(1).min(n - i);
+            for step in 0..hold {
+                let duration = exec.actual(cycle, i, decision.quality);
+                let end = t + duration;
+                let missed = self.sys.deadlines().get(i).is_some_and(|d| end > d);
+                records.push(ActionRecord {
+                    action: i,
+                    quality: decision.quality,
+                    decided: step == 0,
+                    qm_work: if step == 0 { decision.work } else { 0 },
+                    qm_overhead: if step == 0 { overhead } else { Time::ZERO },
+                    start: t,
+                    duration,
+                    end,
+                    missed_deadline: missed,
+                    infeasible: step == 0 && decision.infeasible,
+                });
+                t = end;
+                i += 1;
+            }
+        }
+        CycleTrace {
+            cycle,
+            start,
+            records,
+        }
+    }
+}
+
+/// Runs many consecutive cycles (frames), carrying time across cycle
+/// boundaries.
+pub struct CyclicRunner<'a, M: QualityManager> {
+    runner: CycleRunner<'a, M>,
+    period: Time,
+    /// If `true` (streaming file encode), a cycle may start before its
+    /// period boundary and accumulated earliness becomes extra budget. If
+    /// `false` (live capture), input for cycle `c` only exists from
+    /// `c · period`, so the start time is clamped at 0 cycle-relative.
+    work_conserving: bool,
+}
+
+impl<'a, M: QualityManager> CyclicRunner<'a, M> {
+    /// A cyclic runner with the given per-cycle period (= per-cycle
+    /// deadline spacing).
+    pub fn new(
+        sys: &'a ParameterizedSystem,
+        manager: M,
+        overhead: OverheadModel,
+        period: Time,
+    ) -> Self {
+        CyclicRunner {
+            runner: CycleRunner::new(sys, manager, overhead),
+            period,
+            work_conserving: true,
+        }
+    }
+
+    /// Clamp cycle starts at their period boundary (live-capture mode).
+    pub fn with_arrival_clamping(mut self) -> Self {
+        self.work_conserving = false;
+        self
+    }
+
+    /// Run `cycles` consecutive cycles.
+    pub fn run<E: ExecutionTimeSource>(&mut self, cycles: usize, exec: &mut E) -> Trace {
+        let mut trace = Trace::default();
+        let mut start_rel = Time::ZERO;
+        for c in 0..cycles {
+            let ct = self.runner.run_cycle(c, start_rel, exec);
+            let end_rel = ct.records.last().map_or(start_rel, |r| r.end);
+            trace.cycles.push(ct);
+            start_rel = end_rel - self.period;
+            if !self.work_conserving {
+                start_rel = start_rel.max(Time::ZERO);
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::NumericManager;
+    use crate::policy::{MixedPolicy, Policy};
+    use crate::system::SystemBuilder;
+
+    fn sys() -> ParameterizedSystem {
+        SystemBuilder::new(3)
+            .action("a", &[10, 25, 40], &[4, 9, 14])
+            .action("b", &[12, 22, 35], &[6, 11, 17])
+            .action("c", &[8, 18, 28], &[3, 8, 12])
+            .action("d", &[15, 24, 33], &[7, 12, 16])
+            .deadline_last(Time::from_ns(130))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn average_run_meets_deadline_at_high_quality() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let m = NumericManager::new(&s, &p);
+        let mut runner = CycleRunner::new(&s, m, OverheadModel::ZERO);
+        let trace = runner.run_cycle(0, Time::ZERO, &mut ConstantExec::average(s.table()));
+        assert_eq!(trace.records.len(), 4);
+        assert_eq!(trace.stats().misses, 0);
+        // With averages well below the deadline the manager should reach
+        // above-minimum quality.
+        assert!(trace.stats().avg_quality > 0.0);
+    }
+
+    #[test]
+    fn worst_case_run_is_safe() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let m = NumericManager::new(&s, &p);
+        let mut runner = CycleRunner::new(&s, m, OverheadModel::ZERO);
+        let trace = runner.run_cycle(0, Time::ZERO, &mut ConstantExec::worst_case(s.table()));
+        assert_eq!(
+            trace.stats().misses,
+            0,
+            "mixed policy must absorb worst case"
+        );
+    }
+
+    #[test]
+    fn overhead_is_charged_to_the_clock() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let free = CycleRunner::new(&s, NumericManager::new(&s, &p), OverheadModel::ZERO)
+            .run_cycle(0, Time::ZERO, &mut ConstantExec::average(s.table()));
+        let costly = CycleRunner::new(
+            &s,
+            NumericManager::new(&s, &p),
+            OverheadModel::new(Time::from_ns(3), Time::from_ns(1)),
+        )
+        .run_cycle(0, Time::ZERO, &mut ConstantExec::average(s.table()));
+        let free_end = free.records.last().unwrap().end;
+        let costly_end = costly.records.last().unwrap().end;
+        assert!(costly_end > free_end);
+        assert!(costly.stats().qm_overhead > Time::ZERO);
+        assert!(costly.stats().overhead_ratio > 0.0);
+    }
+
+    #[test]
+    fn decision_quality_satisfies_policy_at_decision_time() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let m = NumericManager::new(&s, &p);
+        let mut runner = CycleRunner::new(&s, m, OverheadModel::ZERO);
+        let trace = runner.run_cycle(0, Time::ZERO, &mut ConstantExec::worst_case(s.table()));
+        let mut t = Time::ZERO;
+        for r in &trace.records {
+            assert!(
+                p.t_d(r.action, r.quality) >= t,
+                "chosen quality feasible at decision time"
+            );
+            t = r.end;
+        }
+    }
+
+    #[test]
+    fn fn_exec_and_misses() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let m = NumericManager::new(&s, &p);
+        let mut runner = CycleRunner::new(&s, m, OverheadModel::ZERO);
+        // Violate the worst-case contract: actual times above Cwc. The
+        // controller must *detect* the resulting miss.
+        let mut exec = FnExec(|_c, _a, _q| Time::from_ns(100));
+        let trace = runner.run_cycle(0, Time::ZERO, &mut exec);
+        assert!(
+            trace.stats().misses > 0,
+            "contract violation must surface as a miss"
+        );
+    }
+
+    #[test]
+    fn cyclic_runner_carries_earliness() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let m = NumericManager::new(&s, &p);
+        let mut runner = CyclicRunner::new(&s, m, OverheadModel::ZERO, Time::from_ns(130));
+        let trace = runner.run(3, &mut ConstantExec::average(s.table()));
+        assert_eq!(trace.cycles.len(), 3);
+        // Average times are far below the period, so later cycles start
+        // earlier and earlier (negative start).
+        assert!(trace.cycles[1].start < Time::ZERO);
+        assert!(trace.cycles[2].start <= trace.cycles[1].start);
+        assert_eq!(trace.total_misses(), 0);
+    }
+
+    #[test]
+    fn arrival_clamping_pins_start_at_zero() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let m = NumericManager::new(&s, &p);
+        let mut runner = CyclicRunner::new(&s, m, OverheadModel::ZERO, Time::from_ns(130))
+            .with_arrival_clamping();
+        let trace = runner.run(3, &mut ConstantExec::average(s.table()));
+        for c in &trace.cycles {
+            assert_eq!(c.start, Time::ZERO);
+        }
+    }
+
+    /// A manager that always demands an oversized hold: the runner must
+    /// clamp it to the remaining actions and still terminate.
+    struct GreedyHold;
+    impl crate::manager::QualityManager for GreedyHold {
+        fn decide(&mut self, _state: usize, _t: Time) -> crate::manager::Decision {
+            crate::manager::Decision {
+                quality: crate::quality::Quality::MIN,
+                hold: usize::MAX,
+                work: 1,
+                infeasible: false,
+            }
+        }
+        fn name(&self) -> &'static str {
+            "greedy-hold"
+        }
+    }
+
+    #[test]
+    fn oversized_holds_are_clamped() {
+        let s = sys();
+        let mut runner = CycleRunner::new(&s, GreedyHold, OverheadModel::ZERO);
+        let trace = runner.run_cycle(0, Time::ZERO, &mut ConstantExec::average(s.table()));
+        assert_eq!(trace.records.len(), 4);
+        assert_eq!(trace.records.iter().filter(|r| r.decided).count(), 1);
+        assert!(trace.records[1..].iter().all(|r| !r.decided));
+    }
+
+    /// A manager returning a zero hold must still make progress (treated
+    /// as hold = 1).
+    struct ZeroHold;
+    impl crate::manager::QualityManager for ZeroHold {
+        fn decide(&mut self, _state: usize, _t: Time) -> crate::manager::Decision {
+            crate::manager::Decision {
+                quality: crate::quality::Quality::MIN,
+                hold: 0,
+                work: 1,
+                infeasible: false,
+            }
+        }
+        fn name(&self) -> &'static str {
+            "zero-hold"
+        }
+    }
+
+    #[test]
+    fn zero_hold_still_progresses() {
+        let s = sys();
+        let mut runner = CycleRunner::new(&s, ZeroHold, OverheadModel::ZERO);
+        let trace = runner.run_cycle(0, Time::ZERO, &mut ConstantExec::average(s.table()));
+        assert_eq!(trace.records.len(), 4);
+        assert!(trace.records.iter().all(|r| r.decided));
+    }
+
+    #[test]
+    fn intermediate_deadline_miss_is_attributed_to_the_right_action() {
+        let s = SystemBuilder::new(1)
+            .action("a", &[100], &[50])
+            .action("b", &[100], &[50])
+            .deadline(0, Time::from_ns(100))
+            .deadline_last(Time::from_ns(400))
+            .build()
+            .unwrap();
+        let p = MixedPolicy::new(&s);
+        let mut runner = CycleRunner::new(&s, NumericManager::new(&s, &p), OverheadModel::ZERO);
+        // Violate the contract on the first action only.
+        let mut exec = FnExec(|_c, a: usize, _q| Time::from_ns(if a == 0 { 150 } else { 10 }));
+        let trace = runner.run_cycle(0, Time::ZERO, &mut exec);
+        assert!(trace.records[0].missed_deadline);
+        assert!(
+            !trace.records[1].missed_deadline,
+            "the final deadline still held"
+        );
+    }
+
+    #[test]
+    fn overhead_model_cost() {
+        let m = OverheadModel::new(Time::from_ns(100), Time::from_ns(7));
+        assert_eq!(m.cost(0), Time::from_ns(100));
+        assert_eq!(m.cost(10), Time::from_ns(170));
+        assert_eq!(OverheadModel::ZERO.cost(1000), Time::ZERO);
+    }
+}

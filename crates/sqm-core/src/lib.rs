@@ -1,0 +1,73 @@
+//! # sqm-core — Quality Management with Speed Diagrams
+//!
+//! The core library of the `speed-qm` workspace: a faithful implementation
+//! of *"Using Speed Diagrams for Symbolic Quality Management"* (Combaz,
+//! Fernandez, Sifakis, Strus — IPPS 2007).
+//!
+//! The library is organized around the paper's pipeline (its Figure 1):
+//!
+//! 1. **Model** — [`system::ParameterizedSystem`]: a scheduled sequence of
+//!    atomic actions with quality-parameterized worst-case (`Cwc`) and
+//!    average (`Cav`) execution times and a deadline function `D`.
+//! 2. **Policies** — [`policy`]: the function `tD(s, q)`; the paper's
+//!    *mixed* policy `CD = Cav + δmax` plus the safe and average baselines.
+//! 3. **Speed diagrams** — [`speed`]: the (actual time × virtual time)
+//!    geometry; ideal and optimal speeds; Proposition 1.
+//! 4. **Symbolic compilation** — [`regions`], [`relaxation`], [`compiler`]:
+//!    quality regions `Rq` (Proposition 2) and control relaxation regions
+//!    `Rrq` (Proposition 3) pre-computed as integer tables.
+//! 5. **Quality Managers** — [`manager`]: the online controllers — numeric
+//!    (re-computes `tD` per call), lookup (table-driven), and relaxed
+//!    (skips control for `r` steps inside `Rrq`).
+//! 6. **Controller** — [`controller`]: composes `PS ‖ Γ`, charges the QM's
+//!    own overhead to the clock, and records [`trace`]s.
+//!
+//! Extensions from the paper's conclusion: [`multi`] (multiple tasks) and
+//! [`approx`] (linear-constraint approximation of region tables).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod analysis;
+pub mod approx;
+pub mod compiler;
+pub mod controller;
+pub mod error;
+pub mod manager;
+mod manager_smooth;
+pub mod multi;
+pub mod policy;
+pub mod prefix;
+pub mod quality;
+pub mod regions;
+pub mod relaxation;
+pub mod smoothness;
+pub mod speed;
+pub mod system;
+pub mod tables;
+pub mod time;
+pub mod timing;
+pub mod trace;
+
+/// Convenient glob import for examples and tests.
+pub mod prelude {
+    pub use crate::action::{ActionId, ActionInfo, DeadlineMap};
+    pub use crate::compiler::{compile_regions, compile_relaxation, Compiled, TableStats};
+    pub use crate::controller::{
+        ConstantExec, CycleRunner, CyclicRunner, ExecutionTimeSource, FnExec, OverheadModel,
+    };
+    pub use crate::error::{BuildError, ParseError};
+    pub use crate::manager::{
+        Decision, LookupManager, NumericManager, QualityManager, RelaxedManager, SmoothedManager,
+    };
+    pub use crate::policy::{choose_quality, AveragePolicy, MixedPolicy, Policy, SafePolicy};
+    pub use crate::quality::{Quality, QualitySet};
+    pub use crate::regions::QualityRegionTable;
+    pub use crate::relaxation::{RelaxationTable, StepSet};
+    pub use crate::speed::SpeedDiagram;
+    pub use crate::system::{ParameterizedSystem, SystemBuilder};
+    pub use crate::time::Time;
+    pub use crate::timing::{TimeTable, TimeTableBuilder};
+    pub use crate::trace::{ActionRecord, CycleStats, Trace};
+}

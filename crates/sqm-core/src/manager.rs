@@ -1,0 +1,298 @@
+//! Quality Managers — the online controllers `Γ`.
+//!
+//! A Quality Manager observes the current state `(s_i, t_i)` and returns the
+//! quality level for the next action (Definition 2). Three implementations
+//! mirror the paper's §4.1 experiment:
+//!
+//! * [`NumericManager`] — re-computes `tD(s_i, q)` **online** at every call
+//!   by scanning the remaining actions, for each probed quality level. This
+//!   is the paper's baseline whose overhead motivates the symbolic method.
+//! * [`LookupManager`] — uses the pre-computed quality region table
+//!   ([`crate::regions::QualityRegionTable`]): at most `|Q|` integer
+//!   comparisons per call.
+//! * [`RelaxedManager`] — additionally consults the control relaxation
+//!   table ([`crate::relaxation::RelaxationTable`]) and asks the controller
+//!   to skip the next `r − 1` calls entirely.
+//!
+//! All three are *equivalent in their choices* — they realize the same
+//! function `Γ` (property-tested in the workspace integration tests); they
+//! differ only in work per call, which the controller charges to the clock
+//! through an [`crate::controller::OverheadModel`].
+
+use crate::policy::Policy;
+use crate::quality::Quality;
+use crate::regions::QualityRegionTable;
+use crate::relaxation::RelaxationTable;
+use crate::system::ParameterizedSystem;
+use crate::time::Time;
+
+pub use crate::manager_smooth::SmoothedManager;
+
+/// The outcome of one Quality Manager invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// Quality level for the next `hold` actions.
+    pub quality: Quality,
+    /// How many consecutive actions this decision covers (`≥ 1`). Plain
+    /// managers return 1; the relaxed manager returns the relaxation step
+    /// `r` of Proposition 3.
+    pub hold: usize,
+    /// Elementary work units spent making the decision (suffix-scan
+    /// iterations for the numeric manager, table probes for the symbolic
+    /// ones). The controller converts this into time overhead.
+    pub work: u64,
+    /// `true` when not even `qmin` satisfied the policy constraint — the
+    /// state lies outside every quality region. Under correct worst-case
+    /// estimates this cannot happen; it is surfaced for fault injection
+    /// experiments.
+    pub infeasible: bool,
+}
+
+/// An online quality manager: `Γ(s_i, t_i) = q_{i+1}`.
+pub trait QualityManager {
+    /// Decide the quality for the next action, given `state` (actions
+    /// completed so far within the cycle) and the elapsed cycle time `t`.
+    fn decide(&mut self, state: usize, t: Time) -> Decision;
+
+    /// Identifier used in benchmark reports.
+    fn name(&self) -> &'static str;
+
+    /// Reset any per-cycle internal state (none of the built-in managers
+    /// carry state across calls, but adaptive extensions may).
+    fn reset(&mut self) {}
+}
+
+/// The paper's numeric Quality Manager: straight online evaluation of the
+/// mixed policy at every call.
+#[derive(Clone, Debug)]
+pub struct NumericManager<'a, P: Policy> {
+    policy: &'a P,
+    n_quality: usize,
+}
+
+impl<'a, P: Policy> NumericManager<'a, P> {
+    /// A numeric manager for `sys` driven by `policy`.
+    pub fn new(sys: &ParameterizedSystem, policy: &'a P) -> NumericManager<'a, P> {
+        NumericManager {
+            policy,
+            n_quality: sys.qualities().len(),
+        }
+    }
+}
+
+impl<P: Policy> QualityManager for NumericManager<'_, P> {
+    fn decide(&mut self, state: usize, t: Time) -> Decision {
+        let mut work = 0;
+        for qi in (0..self.n_quality).rev() {
+            let q = Quality::new(qi as u8);
+            let (td, w) = self.policy.t_d_scan(state, q);
+            work += w;
+            if td >= t {
+                return Decision {
+                    quality: q,
+                    hold: 1,
+                    work,
+                    infeasible: false,
+                };
+            }
+        }
+        Decision {
+            quality: Quality::MIN,
+            hold: 1,
+            work,
+            infeasible: true,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "numeric"
+    }
+}
+
+/// Symbolic Quality Manager over pre-computed quality regions: pure table
+/// lookups (Proposition 2).
+#[derive(Clone, Debug)]
+pub struct LookupManager<'a> {
+    table: &'a QualityRegionTable,
+}
+
+impl<'a> LookupManager<'a> {
+    /// A lookup manager over a compiled region table.
+    pub fn new(table: &'a QualityRegionTable) -> LookupManager<'a> {
+        LookupManager { table }
+    }
+}
+
+impl QualityManager for LookupManager<'_> {
+    fn decide(&mut self, state: usize, t: Time) -> Decision {
+        let (choice, probes) = self.table.choose(state, t);
+        match choice {
+            Some(quality) => Decision {
+                quality,
+                hold: 1,
+                work: probes,
+                infeasible: false,
+            },
+            None => Decision {
+                quality: Quality::MIN,
+                hold: 1,
+                work: probes,
+                infeasible: true,
+            },
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "regions"
+    }
+}
+
+/// Symbolic Quality Manager with control relaxation: after the region
+/// lookup it probes the relaxation table for the largest admissible step
+/// `r ∈ ρ` and asks the controller to hold the chosen quality for `r`
+/// actions (Proposition 3).
+#[derive(Clone, Debug)]
+pub struct RelaxedManager<'a> {
+    regions: &'a QualityRegionTable,
+    relaxation: &'a RelaxationTable,
+}
+
+impl<'a> RelaxedManager<'a> {
+    /// A relaxed manager over compiled region + relaxation tables.
+    pub fn new(
+        regions: &'a QualityRegionTable,
+        relaxation: &'a RelaxationTable,
+    ) -> RelaxedManager<'a> {
+        debug_assert_eq!(regions.n_states(), relaxation.n_states());
+        RelaxedManager {
+            regions,
+            relaxation,
+        }
+    }
+}
+
+impl QualityManager for RelaxedManager<'_> {
+    fn decide(&mut self, state: usize, t: Time) -> Decision {
+        let (choice, probes) = self.regions.choose(state, t);
+        match choice {
+            Some(quality) => {
+                let (r, r_probes) = self.relaxation.choose_relaxation(state, t, quality);
+                let remaining = self.regions.n_states() - state;
+                Decision {
+                    quality,
+                    hold: r.min(remaining).max(1),
+                    work: probes + r_probes,
+                    infeasible: false,
+                }
+            }
+            None => Decision {
+                quality: Quality::MIN,
+                hold: 1,
+                work: probes,
+                infeasible: true,
+            },
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "relaxation"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::MixedPolicy;
+    use crate::relaxation::StepSet;
+    use crate::system::{ParameterizedSystem, SystemBuilder};
+
+    fn sys() -> ParameterizedSystem {
+        SystemBuilder::new(3)
+            .action("a", &[10, 25, 40], &[4, 9, 14])
+            .action("b", &[12, 22, 35], &[6, 11, 17])
+            .action("c", &[8, 18, 28], &[3, 8, 12])
+            .action("d", &[15, 24, 33], &[7, 12, 16])
+            .deadline_last(Time::from_ns(130))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn numeric_chooses_maximal_feasible_quality() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let mut m = NumericManager::new(&s, &p);
+        let d = m.decide(0, Time::ZERO);
+        assert!(!d.infeasible);
+        assert_eq!(d.hold, 1);
+        // The decision must satisfy the policy, and the next level up must not.
+        assert!(p.t_d(0, d.quality) >= Time::ZERO);
+        if d.quality != s.qualities().max() {
+            assert!(p.t_d(0, d.quality.up()) < Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn numeric_flags_infeasible_states() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let mut m = NumericManager::new(&s, &p);
+        let d = m.decide(0, Time::from_secs(10));
+        assert!(d.infeasible);
+        assert_eq!(d.quality, Quality::MIN);
+    }
+
+    #[test]
+    fn all_managers_agree_pointwise() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let regions = QualityRegionTable::from_policy(&s, &p);
+        let relaxation = RelaxationTable::compile(&s, &regions, StepSet::new(vec![1, 2]).unwrap());
+        let mut numeric = NumericManager::new(&s, &p);
+        let mut lookup = LookupManager::new(&regions);
+        let mut relaxed = RelaxedManager::new(&regions, &relaxation);
+        for state in 0..4 {
+            for t_ns in -20..150 {
+                let t = Time::from_ns(t_ns);
+                let dn = numeric.decide(state, t);
+                let dl = lookup.decide(state, t);
+                let dr = relaxed.decide(state, t);
+                assert_eq!(dn.quality, dl.quality, "state {state} t {t}");
+                assert_eq!(dn.quality, dr.quality, "state {state} t {t}");
+                assert_eq!(dn.infeasible, dl.infeasible);
+                assert_eq!(dn.infeasible, dr.infeasible);
+                assert!(dr.hold >= 1 && state + dr.hold <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_work_is_bounded_numeric_work_is_not() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let regions = QualityRegionTable::from_policy(&s, &p);
+        let mut numeric = NumericManager::new(&s, &p);
+        let mut lookup = LookupManager::new(&regions);
+        // Late time forces the numeric manager to probe every quality level,
+        // each probe scanning the whole remaining suffix.
+        let t = Time::from_ns(125);
+        let dn = numeric.decide(0, t);
+        let dl = lookup.decide(0, t);
+        assert!(dn.work > dl.work);
+        assert!(dl.work <= 3, "lookup work bounded by |Q|");
+    }
+
+    #[test]
+    fn manager_names() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let regions = QualityRegionTable::from_policy(&s, &p);
+        let relaxation = RelaxationTable::compile(&s, &regions, StepSet::new(vec![1]).unwrap());
+        assert_eq!(NumericManager::new(&s, &p).name(), "numeric");
+        assert_eq!(LookupManager::new(&regions).name(), "regions");
+        assert_eq!(
+            RelaxedManager::new(&regions, &relaxation).name(),
+            "relaxation"
+        );
+    }
+}

@@ -1,0 +1,326 @@
+//! Multi-task composition — the "adaption to multiple tasks" direction of
+//! the paper's conclusion.
+//!
+//! The paper's method assumes the application software is *already
+//! scheduled* into one sequence. When several cyclic tasks share the
+//! processor, a static interleaving turns them into exactly such a
+//! sequence: the composed system's action list is a deterministic merge of
+//! the tasks' action lists, each action keeping its own timing rows and its
+//! own deadline (relative to the shared cycle start). The single Quality
+//! Manager then controls the merged sequence — quality degrades *globally*
+//! when any task's deadline tightens, which is the modular-use-of-speed-
+//! diagrams behaviour the conclusion sketches.
+//!
+//! The merge is driven by an explicit slot `pattern` (e.g. `[0, 0, 1]`
+//! interleaves two actions of task 0 with one of task 1), walked cyclically
+//! until every task is exhausted; slots of exhausted tasks are skipped.
+
+use crate::action::{ActionId, DeadlineMap};
+use crate::error::BuildError;
+use crate::system::ParameterizedSystem;
+use crate::timing::TimeTableBuilder;
+
+/// Provenance of one merged action: which task it came from and its index
+/// within that task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Provenance {
+    /// Index into the task list passed to [`interleave`].
+    pub task: usize,
+    /// The action's index within its original task.
+    pub action: ActionId,
+}
+
+/// Result of a multi-task merge.
+#[derive(Clone, Debug)]
+pub struct Interleaved {
+    /// The merged, validated parameterized system.
+    pub system: ParameterizedSystem,
+    /// Per merged action: where it came from.
+    pub provenance: Vec<Provenance>,
+}
+
+impl Interleaved {
+    /// The merged indices belonging to task `task`, in order.
+    pub fn actions_of(&self, task: usize) -> Vec<ActionId> {
+        self.provenance
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.task == task)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Project an executed merged-cycle trace onto one task: the task's own
+    /// actions with their original indices, keeping the merged timeline's
+    /// start/end times. This is the "modular use of speed diagrams" of the
+    /// paper's conclusion — feed the projection to the *task's own*
+    /// [`crate::speed::SpeedDiagram`] and the interleaved competitor shows
+    /// up as reduced apparent speed (time passes while the task makes no
+    /// virtual progress).
+    pub fn project_trace(
+        &self,
+        cycle: &crate::trace::CycleTrace,
+        task: usize,
+    ) -> crate::trace::CycleTrace {
+        let records = cycle
+            .records
+            .iter()
+            .filter(|r| self.provenance[r.action].task == task)
+            .map(|r| crate::trace::ActionRecord {
+                action: self.provenance[r.action].action,
+                ..*r
+            })
+            .collect();
+        crate::trace::CycleTrace {
+            cycle: cycle.cycle,
+            start: cycle.start,
+            records,
+        }
+    }
+}
+
+/// Statically interleave several tasks into one schedulable sequence.
+///
+/// * All tasks must share the same quality set.
+/// * `pattern` lists task indices; it is walked cyclically, emitting the
+///   next unconsumed action of the named task (slots of exhausted tasks are
+///   skipped). An empty pattern defaults to round-robin over all tasks.
+/// * Deadlines are carried over verbatim: they refer to the shared cycle
+///   start. The merged system re-validates feasibility, so an infeasible
+///   combination (too much minimum-quality worst-case work before some
+///   task's deadline) is rejected here rather than detected at run time.
+pub fn interleave(
+    tasks: &[&ParameterizedSystem],
+    pattern: &[usize],
+) -> Result<Interleaved, BuildError> {
+    if tasks.is_empty() {
+        return Err(BuildError::EmptyActionSequence);
+    }
+    let nq = tasks[0].qualities().len();
+    for t in tasks {
+        if t.qualities().len() != nq {
+            return Err(BuildError::QualitySetMismatch {
+                expected: nq,
+                got: t.qualities().len(),
+            });
+        }
+    }
+    let round_robin: Vec<usize> = (0..tasks.len()).collect();
+    let pattern = if pattern.is_empty() {
+        &round_robin[..]
+    } else {
+        pattern
+    };
+    let total: usize = tasks.iter().map(|t| t.n_actions()).sum();
+
+    let mut next = vec![0usize; tasks.len()];
+    let mut actions = Vec::with_capacity(total);
+    let mut provenance = Vec::with_capacity(total);
+    let mut deadline_pairs = Vec::new();
+    let mut builder = TimeTableBuilder::new();
+    let mut slot = 0usize;
+    while actions.len() < total {
+        let task = pattern[slot % pattern.len()];
+        slot += 1;
+        if task >= tasks.len() {
+            continue;
+        }
+        let src = tasks[task];
+        let a = next[task];
+        if a >= src.n_actions() {
+            continue;
+        }
+        next[task] += 1;
+        let merged_index = actions.len();
+        let mut info = src.action(a).clone();
+        info.name = format!("t{task}.{}", info.name);
+        actions.push(info);
+        provenance.push(Provenance { task, action: a });
+        let qualities = src.qualities();
+        let wc: Vec<_> = qualities.iter().map(|q| src.table().wc(a, q)).collect();
+        let av: Vec<_> = qualities.iter().map(|q| src.table().av(a, q)).collect();
+        builder.push_action(&wc, &av);
+        if let Some(d) = src.deadlines().get(a) {
+            deadline_pairs.push((merged_index, d));
+        }
+    }
+    let table = builder.build()?;
+    let mut deadlines = DeadlineMap::new(total);
+    for (k, d) in deadline_pairs {
+        deadlines.set(k, d);
+    }
+    // The merged final action must be constrained for tD to be total. If
+    // the pattern put an unconstrained tail last, attach the latest
+    // deadline of any task to the final action — it completes the cycle.
+    if deadlines.get(total - 1).is_none() {
+        let latest = tasks
+            .iter()
+            .map(|t| t.final_deadline())
+            .max()
+            .expect("non-empty task list");
+        deadlines.set(total - 1, latest);
+    }
+    let system = ParameterizedSystem::new(actions, table, deadlines)?;
+    Ok(Interleaved { system, provenance })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemBuilder;
+    use crate::time::Time;
+
+    fn task(n: usize, deadline_ns: i64) -> ParameterizedSystem {
+        let mut b = SystemBuilder::new(2);
+        for i in 0..n {
+            b = b.action(&format!("a{i}"), &[10, 20], &[5, 10]);
+        }
+        b.deadline_last(Time::from_ns(deadline_ns)).build().unwrap()
+    }
+
+    #[test]
+    fn round_robin_merge() {
+        let t0 = task(2, 200);
+        let t1 = task(2, 220);
+        let m = interleave(&[&t0, &t1], &[]).unwrap();
+        assert_eq!(m.system.n_actions(), 4);
+        assert_eq!(
+            m.provenance,
+            vec![
+                Provenance { task: 0, action: 0 },
+                Provenance { task: 1, action: 0 },
+                Provenance { task: 0, action: 1 },
+                Provenance { task: 1, action: 1 },
+            ]
+        );
+        assert_eq!(m.actions_of(0), vec![0, 2]);
+        assert_eq!(m.system.action(1).name, "t1.a0");
+        // Deadlines carried: t0's final deadline lands on merged index 2.
+        assert_eq!(m.system.deadlines().get(2), Some(Time::from_ns(200)));
+        assert_eq!(m.system.deadlines().get(3), Some(Time::from_ns(220)));
+    }
+
+    #[test]
+    fn weighted_pattern() {
+        let t0 = task(4, 400);
+        let t1 = task(2, 400);
+        let m = interleave(&[&t0, &t1], &[0, 0, 1]).unwrap();
+        let tasks: Vec<usize> = m.provenance.iter().map(|p| p.task).collect();
+        assert_eq!(tasks, vec![0, 0, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn exhausted_tasks_are_skipped() {
+        let t0 = task(1, 300);
+        let t1 = task(3, 300);
+        let m = interleave(&[&t0, &t1], &[]).unwrap();
+        let tasks: Vec<usize> = m.provenance.iter().map(|p| p.task).collect();
+        assert_eq!(tasks, vec![0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn unconstrained_tail_gets_latest_deadline() {
+        // Pattern [1, 0]: t0's single action (deadline 300) lands second
+        // but t1's constrained action lands first — tail must be patched.
+        let t0 = task(1, 300);
+        let t1 = task(1, 100);
+        let m = interleave(&[&t1, &t0], &[0, 1]).unwrap();
+        assert_eq!(m.system.deadlines().get(0), Some(Time::from_ns(100)));
+        assert_eq!(m.system.deadlines().get(1), Some(Time::from_ns(300)));
+    }
+
+    #[test]
+    fn quality_set_mismatch_rejected() {
+        let t0 = task(1, 300);
+        let t1 = SystemBuilder::new(3)
+            .action("x", &[10, 20, 30], &[5, 10, 15])
+            .deadline_last(Time::from_ns(100))
+            .build()
+            .unwrap();
+        let err = interleave(&[&t0, &t1], &[]).unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::QualitySetMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
+    }
+
+    #[test]
+    fn empty_task_list_rejected() {
+        assert_eq!(
+            interleave(&[], &[]).unwrap_err(),
+            BuildError::EmptyActionSequence
+        );
+    }
+
+    #[test]
+    fn infeasible_combination_rejected_at_merge() {
+        // Each task alone is feasible, but t1's deadline of 100 must now
+        // also absorb t0's interleaved worst-case work.
+        let t0 = task(8, 1_000);
+        let t1 = task(8, 100);
+        let err = interleave(&[&t0, &t1], &[]).unwrap_err();
+        assert!(matches!(err, BuildError::InfeasibleAtMinQuality { .. }));
+    }
+
+    #[test]
+    fn projection_restores_task_local_indices_and_timeline() {
+        use crate::controller::{ConstantExec, CycleRunner, OverheadModel};
+        use crate::manager::NumericManager;
+        use crate::policy::MixedPolicy;
+        use crate::speed::SpeedDiagram;
+        let t0 = task(3, 200);
+        let t1 = task(2, 220);
+        let m = interleave(&[&t0, &t1], &[]).unwrap();
+        let p = MixedPolicy::new(&m.system);
+        let mut runner = CycleRunner::new(
+            &m.system,
+            NumericManager::new(&m.system, &p),
+            OverheadModel::ZERO,
+        );
+        let merged = runner.run_cycle(0, Time::ZERO, &mut ConstantExec::average(m.system.table()));
+
+        let proj0 = m.project_trace(&merged, 0);
+        let proj1 = m.project_trace(&merged, 1);
+        assert_eq!(proj0.records.len(), 3);
+        assert_eq!(proj1.records.len(), 2);
+        // Task-local indices are restored.
+        assert_eq!(
+            proj0.records.iter().map(|r| r.action).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // The merged timeline is preserved: projected records keep their
+        // global start/end, so gaps appear where the other task ran.
+        assert!(proj0.records[1].start > proj0.records[0].end);
+        // Each projection feeds the task's *own* speed diagram: the final
+        // point reaches the task's deadline height.
+        let p0 = MixedPolicy::new(&t0);
+        let d0 = SpeedDiagram::for_final_deadline(&p0);
+        let pts = d0.trajectory(&proj0);
+        assert_eq!(pts.len(), 4);
+        assert!((pts.last().unwrap().1 - 200.0).abs() < 1e-9);
+        // And the task finished before its own deadline.
+        assert!(proj0.records.last().unwrap().end <= Time::from_ns(200));
+    }
+
+    #[test]
+    fn merged_system_is_controllable() {
+        use crate::controller::{ConstantExec, CycleRunner, OverheadModel};
+        use crate::manager::NumericManager;
+        use crate::policy::MixedPolicy;
+        let t0 = task(3, 150);
+        let t1 = task(3, 160);
+        let m = interleave(&[&t0, &t1], &[]).unwrap();
+        let p = MixedPolicy::new(&m.system);
+        let mgr = NumericManager::new(&m.system, &p);
+        let mut runner = CycleRunner::new(&m.system, mgr, OverheadModel::ZERO);
+        let trace = runner.run_cycle(
+            0,
+            Time::ZERO,
+            &mut ConstantExec::worst_case(m.system.table()),
+        );
+        assert_eq!(trace.stats().misses, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! The average-case policy (soft-real-time baseline).
+//!
+//! `CD = Cav`: estimate the remaining work by *average* execution times
+//! only. This is what a pure soft-real-time controller does — it maximizes
+//! smoothness and budget utilization in the expected case but offers **no
+//! safety guarantee**: a run of worse-than-average actions can blow the
+//! deadline. The paper's mixed policy exists precisely to fix this; we keep
+//! the average policy as a baseline for the ablation benches.
+//!
+//! With `Av[q][x]` the prefix sums of `Cav(·, q)`:
+//!
+//! ```text
+//! tD_av(s_i, q) = Av[q][i] + min_{k ≥ i, k ∈ dom D} ( D(a_k) − Av[q][k+1] )
+//! ```
+
+use crate::action::DeadlineMap;
+use crate::policy::Policy;
+use crate::prefix::DeadlineSuffixMin;
+use crate::quality::Quality;
+use crate::system::ParameterizedSystem;
+use crate::time::Time;
+
+/// Average-times-only policy. O(1) per query after O(n·|Q|) precomputation.
+#[derive(Clone, Debug)]
+pub struct AveragePolicy<'a> {
+    sys: &'a ParameterizedSystem,
+    /// Per quality: `min_{k ≥ i, k ∈ dom D} (D(a_k) − Av[q][k+1])`.
+    min_a_av: Vec<DeadlineSuffixMin>,
+}
+
+impl<'a> AveragePolicy<'a> {
+    /// Precompute the per-quality deadline suffix minima.
+    pub fn new(sys: &'a ParameterizedSystem) -> AveragePolicy<'a> {
+        let n = sys.n_actions();
+        let min_a_av = sys
+            .qualities()
+            .iter()
+            .map(|q| {
+                let prefix: Vec<i64> = (0..=n).map(|x| sys.prefix().av_prefix(q, x)).collect();
+                DeadlineSuffixMin::new(&prefix, sys.deadlines())
+            })
+            .collect();
+        AveragePolicy { sys, min_a_av }
+    }
+
+    fn deadlines(&self) -> &DeadlineMap {
+        self.sys.deadlines()
+    }
+}
+
+impl Policy for AveragePolicy<'_> {
+    fn t_d(&self, state: usize, q: Quality) -> Time {
+        let n = self.sys.n_actions();
+        if state >= n {
+            return Time::INF;
+        }
+        let av_i = Time::from_ns(self.sys.prefix().av_prefix(q, state));
+        av_i + self.min_a_av[q.index()].at(state)
+    }
+
+    fn t_d_scan(&self, state: usize, q: Quality) -> (Time, u64) {
+        let n = self.sys.n_actions();
+        if state >= n {
+            return (Time::INF, 1);
+        }
+        let p = self.sys.prefix();
+        let mut best = Time::INF;
+        let mut work = 0u64;
+        for k in state..n {
+            work += 1;
+            if let Some(d) = self.deadlines().get(k) {
+                best = best.min(d - p.av_range(state, k + 1, q));
+            }
+        }
+        (best, work)
+    }
+
+    fn name(&self) -> &'static str {
+        "average"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemBuilder;
+
+    fn sys() -> ParameterizedSystem {
+        SystemBuilder::new(2)
+            .action("a", &[20, 40], &[10, 20])
+            .action("b", &[20, 40], &[10, 20])
+            .deadline_last(Time::from_ns(60))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn closed_form_matches_scan() {
+        let s = sys();
+        let p = AveragePolicy::new(&s);
+        for state in 0..=2 {
+            for qi in 0..2 {
+                let q = Quality::new(qi);
+                assert_eq!(p.t_d(state, q), p.t_d_scan(state, q).0);
+            }
+        }
+    }
+
+    #[test]
+    fn hand_computed_values() {
+        let s = sys();
+        let p = AveragePolicy::new(&s);
+        // state 0, q1: Cav(0..=1, q1) = 40 → tD = 20.
+        assert_eq!(p.t_d(0, Quality::new(1)), Time::from_ns(20));
+        // state 1, q1: Cav = 20 → tD = 40.
+        assert_eq!(p.t_d(1, Quality::new(1)), Time::from_ns(40));
+        assert_eq!(p.t_d(2, Quality::new(0)), Time::INF);
+    }
+
+    #[test]
+    fn optimistic_compared_to_safe() {
+        use crate::policy::SafePolicy;
+        let s = sys();
+        let avg = AveragePolicy::new(&s);
+        let safe = SafePolicy::new(&s);
+        // Average times are below worst case, so the average policy always
+        // believes it has at least as much room as the safe one.
+        for state in 0..2 {
+            for qi in 0..2 {
+                let q = Quality::new(qi);
+                assert!(avg.t_d(state, q) >= safe.t_d(state, q));
+            }
+        }
+    }
+
+    #[test]
+    fn non_increasing_in_quality() {
+        let s = sys();
+        let p = AveragePolicy::new(&s);
+        for state in 0..2 {
+            assert!(p.t_d(state, Quality::new(1)) <= p.t_d(state, Quality::new(0)));
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The mixed quality-management policy — the paper's contribution (§2.2.2).
+//!
+//! `CD = Cav + δmax` combines the average behaviour (for smoothness and
+//! budget utilization) with a worst-case safety margin:
+//!
+//! ```text
+//! Csf(a_i..a_k, q)  = Cwc(a_i, q) + Σ_{j=i+1..k} Cwc(a_j, qmin)
+//! δ(a_j..a_k, q)    = Csf(a_j..a_k, q) − Cav(a_j..a_k, q)
+//! δmax(a_i..a_k, q) = max_{i ≤ j ≤ k} δ(a_j..a_k, q)
+//! tD(s_i, q)        = min_{k ≥ i, k ∈ dom D} ( D(a_k) − CD(a_i..a_k, q) )
+//! ```
+//!
+//! # Efficient evaluation
+//!
+//! With prefix sums `Av[q][·]` (average at `q`) and `Wmin[·]` (worst case at
+//! `qmin`), the margin separates into a part depending only on the start of
+//! the suffix and a part depending only on its end:
+//!
+//! ```text
+//! δ(a_j..a_k, q) = g(j, q) + h(k, q)
+//! g(j, q) = Cwc(a_j, q) − Wmin[j+1] + Av[q][j]
+//! h(k, q) = Wmin[k+1] − Av[q][k+1]
+//! ```
+//!
+//! so `CD(a_i..a_k, q) = Wmin[k+1] − Av[q][i] + max_{i ≤ j ≤ k} g(j, q)`
+//! (equivalently: `CD = max_j [ Cav(a_i..a_{j-1}, q) + Cwc(a_j, q) +
+//! Cwc(a_{j+1}..a_k, qmin) ]` — the worst case over which remaining action
+//! is the last one still run at quality `q` before degrading to `qmin`).
+//! Splitting the `max` at its first element yields the backward recursion
+//!
+//! ```text
+//! T(i) = min( minA(i) − g(i, q),  T(i+1) ),   T(n) = +∞
+//! tD(s_i, q) = Av[q][i] + T(i)
+//! ```
+//!
+//! which computes `tD` for *all* states in O(n) per quality level — this is
+//! what the offline region compiler uses. The *online numeric* manager of
+//! the paper instead re-scans the remaining suffix at every call
+//! ([`MixedPolicy::t_d_scan`]), which is exactly the overhead the symbolic
+//! method removes.
+
+use crate::policy::Policy;
+use crate::quality::Quality;
+use crate::system::ParameterizedSystem;
+use crate::time::Time;
+
+/// The mixed policy with precomputed `tD` for every `(state, quality)`.
+#[derive(Clone, Debug)]
+pub struct MixedPolicy<'a> {
+    sys: &'a ParameterizedSystem,
+    /// `g[q][j]`, nanoseconds, `j ∈ 0..n`.
+    g: Vec<Vec<i64>>,
+    /// `td[q][i]`, `i ∈ 0..=n` (`td[q][n] = +∞`).
+    td: Vec<Vec<Time>>,
+}
+
+impl<'a> MixedPolicy<'a> {
+    /// Precompute `g` and `tD` in O(n·|Q|).
+    pub fn new(sys: &'a ParameterizedSystem) -> MixedPolicy<'a> {
+        let n = sys.n_actions();
+        let p = sys.prefix();
+        let table = sys.table();
+        let nq = sys.qualities().len();
+        let mut g_all = Vec::with_capacity(nq);
+        let mut td_all = Vec::with_capacity(nq);
+        for qi in 0..nq {
+            let q = Quality::new(qi as u8);
+            let g: Vec<i64> = (0..n)
+                .map(|j| {
+                    table.wc(j, q).as_ns() - p.wc_prefix(Quality::MIN, j + 1) + p.av_prefix(q, j)
+                })
+                .collect();
+            let mut td = vec![Time::INF; n + 1];
+            let mut t_next = Time::INF;
+            for i in (0..n).rev() {
+                // minA(i) is finite for every i < n (the last action is
+                // constrained), so the subtraction below never touches the
+                // sentinels.
+                let candidate = sys.min_a_wcmin(i) - Time::from_ns(g[i]);
+                let t_i = candidate.min(t_next);
+                td[i] = Time::from_ns(p.av_prefix(q, i)) + t_i;
+                t_next = t_i;
+            }
+            g_all.push(g);
+            td_all.push(td);
+        }
+        MixedPolicy {
+            sys,
+            g: g_all,
+            td: td_all,
+        }
+    }
+
+    /// The system this policy is defined over.
+    #[inline]
+    pub fn system(&self) -> &'a ParameterizedSystem {
+        self.sys
+    }
+
+    /// `δ(a_j..a_k, q)` for the inclusive range `j..=k` (§2.2.2).
+    pub fn delta(&self, j: usize, k_incl: usize, q: Quality) -> Time {
+        let p = self.sys.prefix();
+        let csf = self.sys.table().wc(j, q) + p.wc_range(j + 1, k_incl + 1, Quality::MIN);
+        csf - p.av_range(j, k_incl + 1, q)
+    }
+
+    /// `δmax(a_i..a_k, q) = max_{i ≤ j ≤ k} δ(a_j..a_k, q)` — the safety
+    /// margin of the speed diagram's optimal-speed target. O(k−i) via the
+    /// `g + h` decomposition.
+    pub fn delta_max(&self, i: usize, k_incl: usize, q: Quality) -> Time {
+        let p = self.sys.prefix();
+        let g = &self.g[q.index()];
+        let gmax = (i..=k_incl).map(|j| g[j]).max().expect("non-empty range");
+        let h = p.wc_prefix(Quality::MIN, k_incl + 1) - p.av_prefix(q, k_incl + 1);
+        Time::from_ns(gmax + h)
+    }
+
+    /// `CD(a_i..a_k, q) = Cav(a_i..a_k, q) + δmax(a_i..a_k, q)`.
+    pub fn c_d(&self, i: usize, k_incl: usize, q: Quality) -> Time {
+        let p = self.sys.prefix();
+        p.av_range(i, k_incl + 1, q) + self.delta_max(i, k_incl, q)
+    }
+
+    /// Brute-force `tD` straight from the definitions, O((n−i)²). Used in
+    /// tests to validate both the O(1) lookup and the online scan.
+    pub fn t_d_naive(&self, state: usize, q: Quality) -> Time {
+        let n = self.sys.n_actions();
+        if state >= n {
+            return Time::INF;
+        }
+        let mut best = Time::INF;
+        for k in state..n {
+            if let Some(d) = self.sys.deadlines().get(k) {
+                let delta_max = (state..=k)
+                    .map(|j| self.delta(j, k, q))
+                    .fold(Time::NEG_INF, Time::max);
+                let cd = self.sys.prefix().av_range(state, k + 1, q) + delta_max;
+                best = best.min(d - cd);
+            }
+        }
+        best
+    }
+}
+
+impl Policy for MixedPolicy<'_> {
+    #[inline]
+    fn t_d(&self, state: usize, q: Quality) -> Time {
+        self.td[q.index()][state]
+    }
+
+    #[allow(clippy::needless_range_loop)] // indices are the paper's k
+    fn t_d_scan(&self, state: usize, q: Quality) -> (Time, u64) {
+        let n = self.sys.n_actions();
+        if state >= n {
+            return (Time::INF, 1);
+        }
+        let p = self.sys.prefix();
+        let g = &self.g[q.index()];
+        let mut best = Time::INF;
+        let mut gmax = i64::MIN;
+        let mut work = 0u64;
+        for k in state..n {
+            work += 1;
+            gmax = gmax.max(g[k]);
+            if let Some(d) = self.sys.deadlines().get(k) {
+                // CD = Wmin[k+1] − Av[q][state] + gmax
+                let cd = p.wc_prefix(Quality::MIN, k + 1) - p.av_prefix(q, state) + gmax;
+                best = best.min(d - Time::from_ns(cd));
+            }
+        }
+        (best, work)
+    }
+
+    fn name(&self) -> &'static str {
+        "mixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemBuilder;
+
+    fn sys() -> ParameterizedSystem {
+        SystemBuilder::new(3)
+            .action("a", &[10, 25, 40], &[4, 9, 14])
+            .action("b", &[12, 22, 35], &[6, 11, 17])
+            .action("c", &[8, 18, 28], &[3, 8, 12])
+            .action("d", &[15, 24, 33], &[7, 12, 16])
+            .deadline_last(Time::from_ns(120))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lookup_scan_and_naive_agree() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        for state in 0..=4 {
+            for qi in 0..3 {
+                let q = Quality::new(qi);
+                let fast = p.t_d(state, q);
+                let (scan, _) = p.t_d_scan(state, q);
+                let naive = p.t_d_naive(state, q);
+                assert_eq!(fast, naive, "state {state} {q}");
+                assert_eq!(scan, naive, "state {state} {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn agree_with_intermediate_deadlines() {
+        let s = SystemBuilder::new(2)
+            .action("a", &[10, 30], &[5, 15])
+            .action("b", &[10, 30], &[5, 15])
+            .action("c", &[10, 30], &[5, 15])
+            .deadline(0, Time::from_ns(35))
+            .deadline(1, Time::from_ns(70))
+            .deadline_last(Time::from_ns(105))
+            .build()
+            .unwrap();
+        let p = MixedPolicy::new(&s);
+        for state in 0..=3 {
+            for qi in 0..2 {
+                let q = Quality::new(qi);
+                assert_eq!(p.t_d(state, q), p.t_d_naive(state, q));
+                assert_eq!(p.t_d_scan(state, q).0, p.t_d_naive(state, q));
+            }
+        }
+    }
+
+    #[test]
+    fn non_increasing_in_quality() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        for state in 0..4 {
+            for qi in 1..3 {
+                assert!(
+                    p.t_d(state, Quality::new(qi)) <= p.t_d(state, Quality::new(qi - 1)),
+                    "tD non-increasing in q at state {state}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_is_nonnegative() {
+        // δ = Csf − Cav ≥ 0 because Cav(a,q) ≤ Cwc(a,q) and
+        // Cav(a,q') ≤ Cwc(a,qmin) is NOT generally true — but δ over a
+        // single action δ(a_k..a_k, q) = Cwc(a_k,q) − Cav(a_k,q) ≥ 0, so
+        // δmax ≥ 0 always.
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        for i in 0..4 {
+            for k in i..4 {
+                for qi in 0..3 {
+                    let q = Quality::new(qi);
+                    assert!(
+                        p.delta_max(i, k, q) >= Time::ZERO,
+                        "δmax(a{i}..a{k}, {q}) ≥ 0"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_is_between_safe_and_average() {
+        use crate::policy::{AveragePolicy, SafePolicy};
+        let s = sys();
+        let mixed = MixedPolicy::new(&s);
+        let safe = SafePolicy::new(&s);
+        let avg = AveragePolicy::new(&s);
+        for state in 0..4 {
+            for qi in 0..3 {
+                let q = Quality::new(qi);
+                // CD ≥ Cav pointwise ⇒ tD_mixed ≤ tD_avg.
+                assert!(mixed.t_d(state, q) <= avg.t_d(state, q));
+                // δmax includes j = state: CD ≥ Csf(state..k) ⇒ tD_mixed ≤ tD_safe.
+                assert!(mixed.t_d(state, q) <= safe.t_d(state, q));
+            }
+        }
+    }
+
+    #[test]
+    fn cd_alternative_max_form() {
+        // CD(i..k,q) = max_j [ Cav(i..j−1,q) + Cwc(a_j,q) + Wmin(j+1..k) ].
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let pf = s.prefix();
+        for i in 0..4 {
+            for k in i..4 {
+                for qi in 0..3 {
+                    let q = Quality::new(qi);
+                    let alt = (i..=k)
+                        .map(|j| {
+                            pf.av_range(i, j, q)
+                                + s.table().wc(j, q)
+                                + pf.wc_range(j + 1, k + 1, Quality::MIN)
+                        })
+                        .fold(Time::NEG_INF, Time::max);
+                    assert_eq!(p.c_d(i, k, q), alt, "CD max-form, i={i} k={k} {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_work_is_suffix_length() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        assert_eq!(p.t_d_scan(0, Quality::MIN).1, 4);
+        assert_eq!(p.t_d_scan(3, Quality::MIN).1, 1);
+        assert_eq!(p.t_d_scan(4, Quality::MIN).1, 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Quality-management policies.
+//!
+//! A policy is the function `tD : S × Q → Time` of §2.2: for a state `s_i`
+//! (we index states `0..=n`, state `i` meaning *`i` actions completed, the
+//! next action is `a_i`*) and a quality level `q`, `tD(s_i, q)` is the
+//! **latest elapsed cycle time** at which the remaining sequence can still
+//! be started at quality `q` while satisfying the policy's constraint. The
+//! Quality Manager then picks
+//! `Γ(s_i, t) = max { q | tD(s_i, q) ≥ t }`.
+//!
+//! Three policies are provided:
+//!
+//! * [`SafePolicy`] — worst-case based (`Csf`), guarantees deadlines but
+//!   produces wild quality fluctuation (high early, collapsing late);
+//! * [`AveragePolicy`] — average-case based, smooth and optimistic but
+//!   **unsafe** (can miss deadlines); included as the paper's implicit
+//!   soft-real-time baseline;
+//! * [`MixedPolicy`] — the paper's contribution: `CD = Cav + δmax`, safe
+//!   *and* smooth.
+//!
+//! All three satisfy: `tD` is non-increasing in `q` (higher quality can only
+//! shrink the admissible start window), which is what makes quality regions
+//! (Proposition 2) intervals.
+
+mod average;
+mod mixed;
+mod safe;
+
+pub use average::AveragePolicy;
+pub use mixed::MixedPolicy;
+pub use safe::SafePolicy;
+
+use crate::quality::Quality;
+use crate::time::Time;
+
+/// A quality-management policy: the function `tD(s_i, q)`.
+pub trait Policy {
+    /// `tD(state, q)` — O(1) after construction-time precomputation.
+    ///
+    /// `state` ranges over `0..=n`; `tD(n, q) = +∞` by convention (no action
+    /// remains, nothing to constrain).
+    fn t_d(&self, state: usize, q: Quality) -> Time;
+
+    /// `tD(state, q)` computed by an **online scan over the remaining
+    /// suffix**, together with the number of elementary work units (range
+    /// evaluations) spent. This models the paper's *numeric* Quality Manager
+    /// whose per-call cost grows with the number of remaining actions —
+    /// the cost the symbolic managers eliminate.
+    ///
+    /// The returned value must equal [`Policy::t_d`] exactly.
+    fn t_d_scan(&self, state: usize, q: Quality) -> (Time, u64) {
+        (self.t_d(state, q), 1)
+    }
+
+    /// A short, stable identifier for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The quality chosen by the paper's Quality Manager under a policy:
+/// `max { q | tD(state, q) ≥ t }`, or `None` if even `qmin` fails (the
+/// caller decides how to degrade; the runtime managers fall back to `qmin`
+/// and flag the violation).
+///
+/// Scans from `qmax` downward, exactly like the online implementations, and
+/// also returns the work spent when `scan` is true.
+pub fn choose_quality<P: Policy + ?Sized>(
+    policy: &P,
+    n_quality: usize,
+    state: usize,
+    t: Time,
+) -> Option<Quality> {
+    (0..n_quality)
+        .rev()
+        .map(|qi| Quality::new(qi as u8))
+        .find(|&q| policy.t_d(state, q) >= t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy policy with hand-written thresholds, to pin down the contract
+    /// of `choose_quality` itself.
+    struct Toy;
+    impl Policy for Toy {
+        fn t_d(&self, _state: usize, q: Quality) -> Time {
+            // thresholds: q0 → 30, q1 → 20, q2 → 10 (non-increasing in q)
+            Time::from_ns(30 - 10 * q.index() as i64)
+        }
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+    }
+
+    #[test]
+    fn chooses_maximal_satisfying_quality() {
+        assert_eq!(
+            choose_quality(&Toy, 3, 0, Time::from_ns(5)),
+            Some(Quality::new(2))
+        );
+        assert_eq!(
+            choose_quality(&Toy, 3, 0, Time::from_ns(10)),
+            Some(Quality::new(2))
+        );
+        assert_eq!(
+            choose_quality(&Toy, 3, 0, Time::from_ns(11)),
+            Some(Quality::new(1))
+        );
+        assert_eq!(
+            choose_quality(&Toy, 3, 0, Time::from_ns(25)),
+            Some(Quality::new(0))
+        );
+        assert_eq!(choose_quality(&Toy, 3, 0, Time::from_ns(31)), None);
+    }
+
+    #[test]
+    fn default_scan_matches_t_d() {
+        let (v, w) = Toy.t_d_scan(0, Quality::new(1));
+        assert_eq!(v, Time::from_ns(20));
+        assert_eq!(w, 1);
+    }
+}

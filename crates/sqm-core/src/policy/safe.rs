@@ -1,0 +1,151 @@
+//! The safe (worst-case) policy.
+//!
+//! §2.2.2: `Csf(a_i..a_k, q) = Cwc(a_i, q) + Cwc(a_{i+1}..a_k, qmin)` — the
+//! next action runs at quality `q`, everything after it is accounted at the
+//! *minimal* quality's worst case (the manager can always downgrade later).
+//!
+//! With `Wmin[x]` the prefix sums of `Cwc(·, qmin)` and
+//! `minA(i) = min_{k ≥ i, k ∈ dom D} (D(a_k) − Wmin[k+1])` (precomputed by
+//! the system), the policy evaluates in O(1):
+//!
+//! ```text
+//! tD_sf(s_i, q) = minA(i) + Wmin[i+1] − Cwc(a_i, q)
+//! ```
+//!
+//! This policy is safe but not smooth: it starts cycles optimistically and
+//! collapses to low quality whenever the worst-case tail looms.
+
+use crate::policy::Policy;
+use crate::quality::Quality;
+use crate::system::ParameterizedSystem;
+use crate::time::Time;
+
+/// Worst-case-only policy (`CD = Csf`). O(1) per query, no precomputation
+/// beyond what [`ParameterizedSystem`] already holds.
+#[derive(Clone, Debug)]
+pub struct SafePolicy<'a> {
+    sys: &'a ParameterizedSystem,
+}
+
+impl<'a> SafePolicy<'a> {
+    /// A safe policy over `sys`.
+    pub fn new(sys: &'a ParameterizedSystem) -> SafePolicy<'a> {
+        SafePolicy { sys }
+    }
+
+    /// `Csf(a_lo..=a_hi, q)` — total safe execution-time estimate of the
+    /// inclusive action range starting at quality `q`.
+    pub fn c_sf(&self, lo: usize, hi_incl: usize, q: Quality) -> Time {
+        let p = self.sys.prefix();
+        self.sys.table().wc(lo, q) + p.wc_range(lo + 1, hi_incl + 1, Quality::MIN)
+    }
+}
+
+impl Policy for SafePolicy<'_> {
+    fn t_d(&self, state: usize, q: Quality) -> Time {
+        let n = self.sys.n_actions();
+        if state >= n {
+            return Time::INF;
+        }
+        let p = self.sys.prefix();
+        let min_a = self.sys.min_a_wcmin(state);
+        min_a + Time::from_ns(p.wc_prefix(Quality::MIN, state + 1)) - self.sys.table().wc(state, q)
+    }
+
+    fn t_d_scan(&self, state: usize, q: Quality) -> (Time, u64) {
+        // The faithful online evaluation: min over remaining constrained
+        // actions of D(a_k) − Csf(a_state..a_k, q).
+        let n = self.sys.n_actions();
+        if state >= n {
+            return (Time::INF, 1);
+        }
+        let mut best = Time::INF;
+        let mut work = 0u64;
+        for k in state..n {
+            work += 1;
+            if let Some(d) = self.sys.deadlines().get(k) {
+                best = best.min(d - self.c_sf(state, k, q));
+            }
+        }
+        (best, work)
+    }
+
+    fn name(&self) -> &'static str {
+        "safe"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemBuilder;
+
+    fn sys() -> ParameterizedSystem {
+        SystemBuilder::new(3)
+            .action("a", &[10, 20, 30], &[5, 10, 15])
+            .action("b", &[10, 20, 30], &[5, 10, 15])
+            .action("c", &[10, 20, 30], &[5, 10, 15])
+            .deadline_last(Time::from_ns(90))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn closed_form_matches_scan() {
+        let s = sys();
+        let p = SafePolicy::new(&s);
+        for state in 0..=3 {
+            for qi in 0..3 {
+                let q = Quality::new(qi);
+                let (scan, work) = p.t_d_scan(state, q);
+                assert_eq!(p.t_d(state, q), scan, "state {state}, {q}");
+                if state < 3 {
+                    assert_eq!(work, (3 - state) as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hand_computed_values() {
+        let s = sys();
+        let p = SafePolicy::new(&s);
+        // state 0, q2: Csf(0..=2, q2) = 30 + 10 + 10 = 50; tD = 90 − 50 = 40.
+        assert_eq!(p.t_d(0, Quality::new(2)), Time::from_ns(40));
+        // state 2, q0: Csf = 10; tD = 80.
+        assert_eq!(p.t_d(2, Quality::new(0)), Time::from_ns(80));
+        // state 2, q2: Csf = 30; tD = 60.
+        assert_eq!(p.t_d(2, Quality::new(2)), Time::from_ns(60));
+        // Past the end: unconstrained.
+        assert_eq!(p.t_d(3, Quality::new(0)), Time::INF);
+    }
+
+    #[test]
+    fn non_increasing_in_quality() {
+        let s = sys();
+        let p = SafePolicy::new(&s);
+        for state in 0..3 {
+            for qi in 1..3 {
+                assert!(
+                    p.t_d(state, Quality::new(qi)) <= p.t_d(state, Quality::new(qi - 1)),
+                    "tD must be non-increasing in q"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn respects_intermediate_deadlines() {
+        let s = SystemBuilder::new(2)
+            .action("a", &[10, 40], &[5, 20])
+            .action("b", &[10, 40], &[5, 20])
+            .deadline(0, Time::from_ns(45))
+            .deadline_last(Time::from_ns(200))
+            .build()
+            .unwrap();
+        let p = SafePolicy::new(&s);
+        // state 0, q1: binding constraint is k=0: 45 − Cwc(a0,q1)=45−40=5,
+        // vs k=1: 200 − (40 + 10) = 150.
+        assert_eq!(p.t_d(0, Quality::new(1)), Time::from_ns(5));
+    }
+}

@@ -1,0 +1,177 @@
+//! Quality levels.
+//!
+//! The paper parameterizes every action by an integer quality level
+//! `q ∈ Q = {0, …, qmax}` (the MPEG evaluation uses `|Q| = 7`). Execution
+//! times are non-decreasing in `q`; the Quality Manager always picks the
+//! *maximal* level compatible with the deadlines.
+
+use std::fmt;
+
+/// One quality level — a small integer index into the quality set.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Quality(u8);
+
+impl Quality {
+    /// The minimal quality level `qmin = 0`, present in every quality set.
+    pub const MIN: Quality = Quality(0);
+
+    /// Construct from a raw index.
+    #[inline]
+    pub const fn new(index: u8) -> Quality {
+        Quality(index)
+    }
+
+    /// The raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The next-higher level (`q + 1` of Proposition 2); unchecked against
+    /// the set bound, pair with [`QualitySet::contains`].
+    #[inline]
+    pub const fn up(self) -> Quality {
+        Quality(self.0 + 1)
+    }
+
+    /// The next-lower level, or `None` at `qmin`.
+    #[inline]
+    pub const fn down(self) -> Option<Quality> {
+        match self.0.checked_sub(1) {
+            Some(i) => Some(Quality(i)),
+            None => None,
+        }
+    }
+}
+
+impl fmt::Display for Quality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// The finite, contiguous set of quality levels `{0, …, count-1}`.
+///
+/// ```
+/// use sqm_core::quality::{Quality, QualitySet};
+/// let q = QualitySet::new(7).unwrap(); // the paper's MPEG configuration
+/// assert_eq!(q.max().index(), 6);
+/// assert_eq!(q.iter().count(), 7);
+/// assert_eq!(q.iter_desc().next(), Some(q.max()));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QualitySet {
+    count: u8,
+}
+
+impl QualitySet {
+    /// A quality set with `count ≥ 1` levels.
+    pub fn new(count: usize) -> Option<QualitySet> {
+        if count == 0 || count > u8::MAX as usize {
+            None
+        } else {
+            Some(QualitySet { count: count as u8 })
+        }
+    }
+
+    /// Number of levels `|Q|`.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.count as usize
+    }
+
+    /// `|Q|` is never zero, but clippy insists.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        false
+    }
+
+    /// The minimal level `qmin` (always index 0).
+    #[inline]
+    pub const fn min(self) -> Quality {
+        Quality::MIN
+    }
+
+    /// The maximal level `qmax`.
+    #[inline]
+    pub const fn max(self) -> Quality {
+        Quality(self.count - 1)
+    }
+
+    /// Membership test.
+    #[inline]
+    pub const fn contains(self, q: Quality) -> bool {
+        q.0 < self.count
+    }
+
+    /// Ascending iterator `q0, q1, …, qmax`.
+    pub fn iter(self) -> impl DoubleEndedIterator<Item = Quality> + ExactSizeIterator {
+        (0..self.count).map(Quality)
+    }
+
+    /// Descending iterator `qmax, …, q0` — the order in which the Quality
+    /// Manager probes levels (it wants the maximal feasible one).
+    pub fn iter_desc(self) -> impl Iterator<Item = Quality> {
+        (0..self.count).rev().map(Quality)
+    }
+}
+
+impl fmt::Display for QualitySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q = {{0..{}}}", self.count - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(QualitySet::new(0).is_none());
+        assert!(QualitySet::new(1).is_some());
+        assert!(QualitySet::new(255).is_some());
+        assert!(QualitySet::new(256).is_none());
+    }
+
+    #[test]
+    fn min_max_and_membership() {
+        let q = QualitySet::new(7).unwrap();
+        assert_eq!(q.min(), Quality::new(0));
+        assert_eq!(q.max(), Quality::new(6));
+        assert!(q.contains(Quality::new(6)));
+        assert!(!q.contains(Quality::new(7)));
+        assert_eq!(q.len(), 7);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn up_down_navigation() {
+        let q = Quality::new(3);
+        assert_eq!(q.up(), Quality::new(4));
+        assert_eq!(q.down(), Some(Quality::new(2)));
+        assert_eq!(Quality::MIN.down(), None);
+    }
+
+    #[test]
+    fn iteration_orders() {
+        let q = QualitySet::new(3).unwrap();
+        let asc: Vec<usize> = q.iter().map(Quality::index).collect();
+        let desc: Vec<usize> = q.iter_desc().map(Quality::index).collect();
+        assert_eq!(asc, vec![0, 1, 2]);
+        assert_eq!(desc, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn singleton_set() {
+        let q = QualitySet::new(1).unwrap();
+        assert_eq!(q.min(), q.max());
+        assert_eq!(q.iter().count(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Quality::new(4).to_string(), "q4");
+        assert_eq!(QualitySet::new(7).unwrap().to_string(), "Q = {0..6}");
+    }
+}

@@ -1,0 +1,316 @@
+//! Quality regions `Rq` (§3.2, Proposition 2).
+//!
+//! A quality region collects the states where the Quality Manager chooses a
+//! given constant quality:
+//!
+//! ```text
+//! Rq = { (s_i, t_i) | Γ(s_i, t_i) = q }
+//! (s_i, t_i) ∈ Rq  ⟺  t_i ∈ ( tD(s_i, q+1), tD(s_i, q) ]      (q < qmax)
+//!                      t_i ∈ ( −∞,           tD(s_i, q) ]      (q = qmax)
+//! ```
+//!
+//! Because `tD` is non-increasing in `q`, the regions tile each state's time
+//! axis into `|Q|` disjoint intervals (plus an infeasible tail above
+//! `tD(s_i, qmin)`). A [`QualityRegionTable`] is the paper's symbolic
+//! artifact: the `|A|·|Q|` integers `tD(s_i, q)` from which the online
+//! manager answers every query with at most `|Q|` comparisons — no policy
+//! arithmetic at run time.
+
+use crate::policy::Policy;
+use crate::quality::{Quality, QualitySet};
+use crate::system::ParameterizedSystem;
+use crate::time::Time;
+
+/// The pre-computed region boundaries `tD(s_i, q)` for all states and
+/// quality levels — `|A| · |Q|` integers, exactly the table the paper
+/// reports for the MPEG encoder (`1,189 × 7 = 8,323`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QualityRegionTable {
+    n_states: usize,
+    qualities: QualitySet,
+    /// Row-major: `td[state * |Q| + q]`.
+    td: Vec<Time>,
+}
+
+impl QualityRegionTable {
+    /// Evaluate a policy at every `(state, quality)` pair. O(n·|Q|) given an
+    /// O(1) policy.
+    pub fn from_policy<P: Policy>(sys: &ParameterizedSystem, policy: &P) -> QualityRegionTable {
+        let n = sys.n_actions();
+        let qualities = sys.qualities();
+        let mut td = Vec::with_capacity(n * qualities.len());
+        for state in 0..n {
+            for q in qualities.iter() {
+                td.push(policy.t_d(state, q));
+            }
+        }
+        QualityRegionTable {
+            n_states: n,
+            qualities,
+            td,
+        }
+    }
+
+    /// Rebuild from raw parts (deserialization). The caller must provide
+    /// `n_states · |Q|` values.
+    pub fn from_raw(
+        n_states: usize,
+        qualities: QualitySet,
+        td: Vec<Time>,
+    ) -> Option<QualityRegionTable> {
+        (td.len() == n_states * qualities.len()).then_some(QualityRegionTable {
+            n_states,
+            qualities,
+            td,
+        })
+    }
+
+    /// Number of states covered (`|A|`: one decision point per action).
+    #[inline]
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// The quality set.
+    #[inline]
+    pub fn qualities(&self) -> QualitySet {
+        self.qualities
+    }
+
+    /// The stored boundary `tD(s_state, q)`.
+    #[inline]
+    pub fn t_d(&self, state: usize, q: Quality) -> Time {
+        self.td[state * self.qualities.len() + q.index()]
+    }
+
+    /// Raw table contents, row-major by state.
+    #[inline]
+    pub fn raw(&self) -> &[Time] {
+        &self.td
+    }
+
+    /// The region interval of `(state, q)` as `(lower, upper]`; `lower` is
+    /// [`Time::NEG_INF`] for `qmax` (Proposition 2).
+    pub fn bounds(&self, state: usize, q: Quality) -> (Time, Time) {
+        let upper = self.t_d(state, q);
+        let lower = if q == self.qualities.max() {
+            Time::NEG_INF
+        } else {
+            self.t_d(state, q.up())
+        };
+        (lower, upper)
+    }
+
+    /// Proposition 2 membership test: `(s_state, t) ∈ Rq`.
+    pub fn contains(&self, state: usize, t: Time, q: Quality) -> bool {
+        let (lower, upper) = self.bounds(state, q);
+        lower < t && t <= upper
+    }
+
+    /// The symbolic Quality Manager's choice: the maximal `q` with
+    /// `tD(s_state, q) ≥ t`, found by probing levels from `qmax` down.
+    /// Returns the number of table probes alongside (the symbolic manager's
+    /// per-call work, at most `|Q|`).
+    pub fn choose(&self, state: usize, t: Time) -> (Option<Quality>, u64) {
+        let mut probes = 0;
+        for q in self.qualities.iter_desc() {
+            probes += 1;
+            if self.t_d(state, q) >= t {
+                return (Some(q), probes);
+            }
+        }
+        (None, probes)
+    }
+
+    /// The symbolic choice via **binary search** over quality levels
+    /// (valid because `tD` is non-increasing in `q`): O(log |Q|) probes
+    /// instead of the linear descent of [`QualityRegionTable::choose`].
+    /// Identical result; worthwhile for large quality sets.
+    pub fn choose_binary(&self, state: usize, t: Time) -> (Option<Quality>, u64) {
+        // Find the largest q with tD(state, q) ≥ t. The predicate
+        // `tD(state, q) ≥ t` is monotone (true for a prefix of q's).
+        let nq = self.qualities.len();
+        let mut probes = 0;
+        let (mut lo, mut hi) = (0usize, nq); // invariant: answer in [lo, hi)
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            probes += 1;
+            if self.t_d(state, Quality::new(mid as u8)) >= t {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo == 0 {
+            (None, probes)
+        } else {
+            (Some(Quality::new((lo - 1) as u8)), probes)
+        }
+    }
+
+    /// A copy of this table with every boundary shifted by `delta`.
+    ///
+    /// For systems with a **single global deadline** `D` (the paper's MPEG
+    /// setting), `D` enters `tD(s, q) = min_k D − CD(…)` purely additively,
+    /// so re-negotiating the deadline to `D + delta` turns every stored
+    /// boundary into `tD + delta` — no recompilation. (With multiple
+    /// deadlines only the uniform-shift case `D_k → D_k + delta` for all
+    /// `k` is exact, which this method also covers.)
+    pub fn shifted(&self, delta: Time) -> QualityRegionTable {
+        let shift = |t: Time| if t.is_infinite() { t } else { t + delta };
+        QualityRegionTable {
+            n_states: self.n_states,
+            qualities: self.qualities,
+            td: self.td.iter().map(|&t| shift(t)).collect(),
+        }
+    }
+
+    /// Number of integers in the symbolic representation (`|A|·|Q|` — the
+    /// paper's 8,323 for the MPEG encoder).
+    pub fn integer_count(&self) -> usize {
+        self.td.len()
+    }
+
+    /// Memory footprint of the table payload in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.td.len() * std::mem::size_of::<Time>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{choose_quality, MixedPolicy};
+    use crate::system::{ParameterizedSystem, SystemBuilder};
+
+    fn sys() -> ParameterizedSystem {
+        SystemBuilder::new(3)
+            .action("a", &[10, 25, 40], &[4, 9, 14])
+            .action("b", &[12, 22, 35], &[6, 11, 17])
+            .action("c", &[8, 18, 28], &[3, 8, 12])
+            .deadline_last(Time::from_ns(100))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn table_matches_policy() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let table = QualityRegionTable::from_policy(&s, &p);
+        assert_eq!(table.n_states(), 3);
+        assert_eq!(table.integer_count(), 9);
+        for state in 0..3 {
+            for q in s.qualities().iter() {
+                assert_eq!(table.t_d(state, q), p.t_d(state, q));
+            }
+        }
+    }
+
+    #[test]
+    fn choose_matches_numeric_choice() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let table = QualityRegionTable::from_policy(&s, &p);
+        for state in 0..3 {
+            for t_ns in -20..120 {
+                let t = Time::from_ns(t_ns);
+                let (symbolic, probes) = table.choose(state, t);
+                let numeric = choose_quality(&p, 3, state, t);
+                assert_eq!(symbolic, numeric, "state {state}, t {t}");
+                assert!(probes as usize <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn regions_partition_the_time_axis() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let table = QualityRegionTable::from_policy(&s, &p);
+        for state in 0..3 {
+            for t_ns in -50..150 {
+                let t = Time::from_ns(t_ns);
+                let member_count = s
+                    .qualities()
+                    .iter()
+                    .filter(|&q| table.contains(state, t, q))
+                    .count();
+                let feasible = t <= table.t_d(state, Quality::MIN);
+                assert_eq!(
+                    member_count,
+                    usize::from(feasible),
+                    "each feasible t belongs to exactly one region (state {state}, t {t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_structure() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let table = QualityRegionTable::from_policy(&s, &p);
+        let qmax = s.qualities().max();
+        let (lo, _) = table.bounds(0, qmax);
+        assert_eq!(lo, Time::NEG_INF);
+        // Adjacent regions share a boundary: upper of q+1 is lower of q.
+        for q in 0..2u8 {
+            let q = Quality::new(q);
+            let (lo_q, _) = table.bounds(0, q);
+            let (_, up_q1) = table.bounds(0, q.up());
+            assert_eq!(lo_q, up_q1);
+        }
+    }
+
+    #[test]
+    fn binary_choice_matches_linear_choice() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let table = QualityRegionTable::from_policy(&s, &p);
+        for state in 0..3 {
+            for t_ns in -30..130 {
+                let t = Time::from_ns(t_ns);
+                let (linear, _) = table.choose(state, t);
+                let (binary, probes) = table.choose_binary(state, t);
+                assert_eq!(linear, binary, "state {state} t {t}");
+                assert!(probes <= 2, "⌈log2(3)⌉ probes");
+            }
+        }
+    }
+
+    #[test]
+    fn shifted_table_equals_recompiled_table() {
+        // Single global deadline: shifting must be exact.
+        let s = sys(); // deadline 100 on the last action
+        let p = MixedPolicy::new(&s);
+        let table = QualityRegionTable::from_policy(&s, &p);
+        for delta_ns in [-15i64, 0, 40] {
+            let shifted = table.shifted(Time::from_ns(delta_ns));
+            let moved = SystemBuilder::new(3)
+                .action("a", &[10, 25, 40], &[4, 9, 14])
+                .action("b", &[12, 22, 35], &[6, 11, 17])
+                .action("c", &[8, 18, 28], &[3, 8, 12])
+                .deadline_last(Time::from_ns(100 + delta_ns))
+                .build()
+                .unwrap();
+            let recompiled = QualityRegionTable::from_policy(&moved, &MixedPolicy::new(&moved));
+            assert_eq!(shifted, recompiled, "delta {delta_ns}");
+        }
+    }
+
+    #[test]
+    fn from_raw_validates_length() {
+        let qs = QualitySet::new(2).unwrap();
+        assert!(QualityRegionTable::from_raw(2, qs, vec![Time::ZERO; 4]).is_some());
+        assert!(QualityRegionTable::from_raw(2, qs, vec![Time::ZERO; 3]).is_none());
+    }
+
+    #[test]
+    fn sizes() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let table = QualityRegionTable::from_policy(&s, &p);
+        assert_eq!(table.byte_size(), 9 * 8);
+    }
+}

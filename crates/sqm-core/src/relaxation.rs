@@ -1,0 +1,455 @@
+//! Control relaxation regions `Rrq` (§3.3, Proposition 3).
+//!
+//! From a state inside `Rrq`, the Quality Manager is *guaranteed* to choose
+//! quality `q` for the next `r` actions — whatever the actual execution
+//! times turn out to be (they can range anywhere in `[0, Cwc]`). Control can
+//! therefore be skipped for `r − 1` steps with bit-identical quality
+//! assignments. Proposition 3 characterizes the region as one interval per
+//! state:
+//!
+//! ```text
+//! (s_i, t_i) ∈ Rrq ⟺ t_i ∈ ( tD(s_{i+r−1}, q+1),  tD,r(s_i, q) ]
+//! tD,r(s_i, q) = min_{i ≤ j ≤ i+r−1} ( tD(s_j, q) − Cwc(a_{i+1}..a_j, q) )
+//! ```
+//!
+//! (for `q = qmax` the lower bound is `−∞`). A [`RelaxationTable`] stores
+//! both bounds for every `(state, q, r ∈ ρ)` — `2·|A|·|Q|·|ρ|` integers,
+//! the paper's `99,876` for the MPEG encoder with `ρ = {1,10,20,30,40,50}`.
+
+use crate::error::BuildError;
+use crate::quality::{Quality, QualitySet};
+use crate::regions::QualityRegionTable;
+use crate::system::ParameterizedSystem;
+use crate::time::Time;
+use std::collections::VecDeque;
+
+/// The menu `ρ` of relaxation step counts the compiler pre-computes.
+///
+/// Must be strictly increasing and contain `1` (so a relaxation lookup can
+/// always fall back to "no relaxation", which is plain region membership).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepSet {
+    steps: Vec<usize>,
+}
+
+impl StepSet {
+    /// The paper's MPEG configuration: `ρ = {1, 10, 20, 30, 40, 50}`.
+    pub fn paper_mpeg() -> StepSet {
+        StepSet::new(vec![1, 10, 20, 30, 40, 50]).expect("static step set is valid")
+    }
+
+    /// Validate a step menu.
+    pub fn new(steps: Vec<usize>) -> Result<StepSet, BuildError> {
+        let strictly_increasing = steps.windows(2).all(|w| w[0] < w[1]);
+        if steps.first() != Some(&1) || !strictly_increasing {
+            return Err(BuildError::InvalidStepSet);
+        }
+        Ok(StepSet { steps })
+    }
+
+    /// The steps, ascending.
+    #[inline]
+    pub fn steps(&self) -> &[usize] {
+        &self.steps
+    }
+
+    /// `|ρ|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Never empty (contains 1).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The largest step.
+    #[inline]
+    pub fn max_step(&self) -> usize {
+        *self.steps.last().expect("non-empty")
+    }
+}
+
+/// Pre-computed control relaxation intervals for every `(state, q, r ∈ ρ)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelaxationTable {
+    n_states: usize,
+    qualities: QualitySet,
+    rho: StepSet,
+    /// `lower[(state * |Q| + q) * |ρ| + ri]` — open lower bound
+    /// `tD(s_{i+r−1}, q+1)`, or `−∞` at `qmax`.
+    lower: Vec<Time>,
+    /// Matching closed upper bound `tD,r(s_i, q)`. Entries whose window
+    /// would run past the end of the cycle hold an empty interval
+    /// (`lower = +∞ > upper`).
+    upper: Vec<Time>,
+}
+
+impl RelaxationTable {
+    /// Build from a quality-region table. O(n·|Q|·|ρ|) using a monotone
+    /// deque for the sliding-window minimum of `tD(s_j, q) − Wq[j]`.
+    #[allow(clippy::needless_range_loop)] // window arithmetic over explicit indices
+    pub fn compile(
+        sys: &ParameterizedSystem,
+        regions: &QualityRegionTable,
+        rho: StepSet,
+    ) -> RelaxationTable {
+        let n = sys.n_actions();
+        debug_assert_eq!(regions.n_states(), n);
+        let qualities = sys.qualities();
+        let nq = qualities.len();
+        let nr = rho.len();
+        let mut lower = vec![Time::INF; n * nq * nr];
+        let mut upper = vec![Time::NEG_INF; n * nq * nr];
+
+        for q in qualities.iter() {
+            // u(j) = tD(s_j, q) − Wq[q][j]; then
+            // tD,r(s_i, q) = Wq[q][i] + min_{i ≤ j ≤ i+r−1} u(j).
+            let wq: Vec<i64> = (0..=n).map(|x| sys.prefix().wc_prefix(q, x)).collect();
+            let u: Vec<Time> = (0..n)
+                .map(|j| regions.t_d(j, q) - Time::from_ns(wq[j]))
+                .collect();
+            for (ri, &r) in rho.steps().iter().enumerate() {
+                if r > n {
+                    continue;
+                }
+                // Sliding minimum of u over windows [i, i+r-1].
+                let mut deque: VecDeque<usize> = VecDeque::new();
+                // Pre-fill the first window.
+                for j in 0..r {
+                    while deque.back().is_some_and(|&b| u[b] >= u[j]) {
+                        deque.pop_back();
+                    }
+                    deque.push_back(j);
+                }
+                for i in 0..=(n - r) {
+                    let j_min = *deque.front().expect("window non-empty");
+                    let up = u[j_min] + Time::from_ns(wq[i]);
+                    let lo = if q == qualities.max() {
+                        Time::NEG_INF
+                    } else {
+                        regions.t_d(i + r - 1, q.up())
+                    };
+                    let idx = (i * nq + q.index()) * nr + ri;
+                    lower[idx] = lo;
+                    upper[idx] = up;
+                    // Slide: drop index i, add index i + r.
+                    if deque.front() == Some(&i) {
+                        deque.pop_front();
+                    }
+                    let next = i + r;
+                    if next < n {
+                        while deque.back().is_some_and(|&b| u[b] >= u[next]) {
+                            deque.pop_back();
+                        }
+                        deque.push_back(next);
+                    }
+                }
+            }
+        }
+        RelaxationTable {
+            n_states: n,
+            qualities,
+            rho,
+            lower,
+            upper,
+        }
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// The step menu `ρ`.
+    #[inline]
+    pub fn rho(&self) -> &StepSet {
+        &self.rho
+    }
+
+    /// The quality set.
+    #[inline]
+    pub fn qualities(&self) -> QualitySet {
+        self.qualities
+    }
+
+    #[inline]
+    fn idx(&self, state: usize, q: Quality, ri: usize) -> usize {
+        (state * self.qualities.len() + q.index()) * self.rho.len() + ri
+    }
+
+    /// The `(lower, upper]` interval of `Rrq` at `state` for the `ri`-th
+    /// step of `ρ`. An empty interval (`lower ≥ upper` with
+    /// `lower = +∞`) means the window overruns the cycle.
+    pub fn bounds(&self, state: usize, q: Quality, ri: usize) -> (Time, Time) {
+        let i = self.idx(state, q, ri);
+        (self.lower[i], self.upper[i])
+    }
+
+    /// Proposition 3 membership: `(s_state, t) ∈ Rrq` for `r = ρ[ri]`.
+    pub fn contains(&self, state: usize, t: Time, q: Quality, ri: usize) -> bool {
+        let (lo, up) = self.bounds(state, q, ri);
+        lo < t && t <= up
+    }
+
+    /// The relaxed manager's second lookup: after region membership
+    /// established quality `q` at `(state, t)`, find the largest `r ∈ ρ`
+    /// whose relaxation interval contains `t`. Probes `ρ` from the largest
+    /// step down; returns `(r, probes)`. Always succeeds with `r ≥ 1`
+    /// because `R1q = Rq`.
+    pub fn choose_relaxation(&self, state: usize, t: Time, q: Quality) -> (usize, u64) {
+        let mut probes = 0;
+        for ri in (0..self.rho.len()).rev() {
+            probes += 1;
+            if self.contains(state, t, q, ri) {
+                return (self.rho.steps()[ri], probes);
+            }
+        }
+        // R1q = Rq and the caller established (state, t) ∈ Rq; numerical
+        // consistency makes this unreachable, but degrade gracefully.
+        (1, probes)
+    }
+
+    /// A copy with every interval shifted by `delta` — exact for a uniform
+    /// deadline shift, mirroring [`crate::regions::QualityRegionTable::shifted`]
+    /// (both bounds are sums of `tD` values and deadline-independent
+    /// worst-case terms). Sentinel bounds are preserved.
+    pub fn shifted(&self, delta: Time) -> RelaxationTable {
+        let shift = |t: Time| if t.is_infinite() { t } else { t + delta };
+        RelaxationTable {
+            n_states: self.n_states,
+            qualities: self.qualities,
+            rho: self.rho.clone(),
+            lower: self.lower.iter().map(|&t| shift(t)).collect(),
+            upper: self.upper.iter().map(|&t| shift(t)).collect(),
+        }
+    }
+
+    /// Number of stored integers — `2·|A|·|Q|·|ρ|` (the paper's 99,876).
+    pub fn integer_count(&self) -> usize {
+        self.lower.len() + self.upper.len()
+    }
+
+    /// Memory footprint of the payload in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.integer_count() * std::mem::size_of::<Time>()
+    }
+
+    /// Raw bounds, for serialization: `(lower, upper)` slices.
+    pub fn raw(&self) -> (&[Time], &[Time]) {
+        (&self.lower, &self.upper)
+    }
+
+    /// Rebuild from raw parts (deserialization).
+    pub fn from_raw(
+        n_states: usize,
+        qualities: QualitySet,
+        rho: StepSet,
+        lower: Vec<Time>,
+        upper: Vec<Time>,
+    ) -> Option<RelaxationTable> {
+        let expect = n_states * qualities.len() * rho.len();
+        (lower.len() == expect && upper.len() == expect).then_some(RelaxationTable {
+            n_states,
+            qualities,
+            rho,
+            lower,
+            upper,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::MixedPolicy;
+    use crate::system::{ParameterizedSystem, SystemBuilder};
+
+    fn sys() -> ParameterizedSystem {
+        SystemBuilder::new(2)
+            .action("a", &[10, 20], &[4, 9])
+            .action("b", &[12, 22], &[6, 11])
+            .action("c", &[8, 18], &[3, 8])
+            .action("d", &[9, 21], &[5, 10])
+            .action("e", &[11, 19], &[4, 9])
+            .deadline_last(Time::from_ns(120))
+            .build()
+            .unwrap()
+    }
+
+    fn tables(s: &ParameterizedSystem) -> (QualityRegionTable, RelaxationTable) {
+        let p = MixedPolicy::new(s);
+        let regions = QualityRegionTable::from_policy(s, &p);
+        let rho = StepSet::new(vec![1, 2, 3]).unwrap();
+        let relax = RelaxationTable::compile(s, &regions, rho);
+        (regions, relax)
+    }
+
+    #[test]
+    fn step_set_validation() {
+        assert!(StepSet::new(vec![]).is_err());
+        assert!(StepSet::new(vec![2, 3]).is_err(), "must contain 1");
+        assert!(StepSet::new(vec![1, 3, 3]).is_err(), "strictly increasing");
+        assert!(StepSet::new(vec![1, 3, 2]).is_err());
+        let rho = StepSet::new(vec![1, 10, 50]).unwrap();
+        assert_eq!(rho.max_step(), 50);
+        assert_eq!(rho.len(), 3);
+        assert!(!rho.is_empty());
+        assert_eq!(StepSet::paper_mpeg().steps(), &[1, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn r1_equals_quality_region() {
+        let s = sys();
+        let (regions, relax) = tables(&s);
+        for state in 0..5 {
+            for q in s.qualities().iter() {
+                let (lo1, up1) = relax.bounds(state, q, 0);
+                let (lo, up) = regions.bounds(state, q);
+                assert_eq!((lo1, up1), (lo, up), "R1q = Rq at state {state} {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn upper_matches_brute_force_definition() {
+        let s = sys();
+        let (regions, relax) = tables(&s);
+        let rho = relax.rho().clone();
+        for state in 0..5usize {
+            for q in s.qualities().iter() {
+                for (ri, &r) in rho.steps().iter().enumerate() {
+                    if state + r > 5 {
+                        let (lo, up) = relax.bounds(state, q, ri);
+                        assert!(lo >= up, "overrunning window is empty");
+                        continue;
+                    }
+                    let brute = (state..state + r)
+                        .map(|j| regions.t_d(j, q) - s.prefix().wc_range(state, j, q))
+                        .fold(Time::INF, Time::min);
+                    let (_, up) = relax.bounds(state, q, ri);
+                    assert_eq!(up, brute, "tD,r at state {state} {q} r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lower_is_next_region_boundary_at_window_end() {
+        let s = sys();
+        let (regions, relax) = tables(&s);
+        let q0 = Quality::new(0);
+        for state in 0..4usize {
+            let (lo, _) = relax.bounds(state, q0, 1); // r = 2
+            assert_eq!(lo, regions.t_d(state + 1, Quality::new(1)));
+        }
+        // qmax has an open lower bound.
+        let (lo, _) = relax.bounds(0, Quality::new(1), 1);
+        assert_eq!(lo, Time::NEG_INF);
+    }
+
+    #[test]
+    fn relaxation_region_is_subset_of_quality_region() {
+        let s = sys();
+        let (regions, relax) = tables(&s);
+        for state in 0..5 {
+            for q in s.qualities().iter() {
+                for ri in 0..3 {
+                    for t_ns in -30..130 {
+                        let t = Time::from_ns(t_ns);
+                        if relax.contains(state, t, q, ri) {
+                            assert!(
+                                regions.contains(state, t, q),
+                                "Rrq ⊆ Rq violated at state {state} {q} ri={ri} t={t}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn choose_relaxation_prefers_largest_step() {
+        let s = sys();
+        let (regions, relax) = tables(&s);
+        for state in 0..5 {
+            for t_ns in -30..130 {
+                let t = Time::from_ns(t_ns);
+                if let (Some(q), _) = regions.choose(state, t) {
+                    let (r, probes) = relax.choose_relaxation(state, t, q);
+                    assert!(r >= 1 && probes <= 3);
+                    // Every larger step in ρ must NOT contain t.
+                    for (ri, &step) in relax.rho().steps().iter().enumerate() {
+                        if step > r {
+                            assert!(!relax.contains(state, t, q, ri));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shifted_equals_recompiled() {
+        let s = sys(); // deadline 120 on the last action
+        let (regions, relax) = tables(&s);
+        for delta in [-10i64, 0, 25] {
+            let shifted = relax.shifted(Time::from_ns(delta));
+            // Recompile against the shifted system.
+            let mut b = SystemBuilder::new(2);
+            for (name, wc, av) in [
+                ("a", [10, 20], [4, 9]),
+                ("b", [12, 22], [6, 11]),
+                ("c", [8, 18], [3, 8]),
+                ("d", [9, 21], [5, 10]),
+                ("e", [11, 19], [4, 9]),
+            ] {
+                b = b.action(name, &wc, &av);
+            }
+            let moved = b.deadline_last(Time::from_ns(120 + delta)).build().unwrap();
+            let moved_regions = regions.shifted(Time::from_ns(delta));
+            let recompiled = RelaxationTable::compile(
+                &moved,
+                &moved_regions,
+                StepSet::new(vec![1, 2, 3]).unwrap(),
+            );
+            assert_eq!(shifted, recompiled, "delta {delta}");
+        }
+    }
+
+    #[test]
+    fn integer_count_formula() {
+        let s = sys();
+        let (_, relax) = tables(&s);
+        assert_eq!(relax.integer_count(), 2 * 5 * 2 * 3);
+        assert_eq!(relax.byte_size(), relax.integer_count() * 8);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        let s = sys();
+        let (_, relax) = tables(&s);
+        let (lo, up) = relax.raw();
+        let rebuilt = RelaxationTable::from_raw(
+            5,
+            s.qualities(),
+            relax.rho().clone(),
+            lo.to_vec(),
+            up.to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, relax);
+        assert!(RelaxationTable::from_raw(
+            5,
+            s.qualities(),
+            relax.rho().clone(),
+            lo.to_vec(),
+            vec![]
+        )
+        .is_none());
+    }
+}

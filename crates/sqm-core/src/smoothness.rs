@@ -1,0 +1,122 @@
+//! Smoothness metrics for quality-level sequences.
+//!
+//! The third QoS requirement of the paper (besides safety and optimality)
+//! is *smoothness*: low fluctuation of quality levels across a cycle.
+//! Multimedia perception work (the paper cites Schuster et al.'s
+//! minimum-maximum criterion) punishes oscillating quality more than
+//! uniformly lower quality. The paper defers the formal treatment to its
+//! predecessor \[6\]; we provide the standard fluctuation metrics so the
+//! ablation benches can compare policies quantitatively.
+
+/// Fluctuation statistics of one quality-level sequence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Smoothness {
+    /// Number of positions where the level changes.
+    pub switches: usize,
+    /// Sum of |q_{i+1} − q_i| (total variation).
+    pub total_variation: usize,
+    /// Largest single jump |q_{i+1} − q_i|.
+    pub max_jump: usize,
+    /// Mean level.
+    pub mean: f64,
+    /// Population standard deviation of the levels.
+    pub std_dev: f64,
+    /// Lowest level used (the min-max criterion's objective).
+    pub min_level: usize,
+    /// Highest level used.
+    pub max_level: usize,
+}
+
+impl Smoothness {
+    /// Compute the metrics of a (possibly empty) quality sequence.
+    pub fn of(levels: &[usize]) -> Smoothness {
+        if levels.is_empty() {
+            return Smoothness {
+                switches: 0,
+                total_variation: 0,
+                max_jump: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min_level: 0,
+                max_level: 0,
+            };
+        }
+        let mut switches = 0;
+        let mut total_variation = 0;
+        let mut max_jump = 0;
+        for w in levels.windows(2) {
+            let jump = w[0].abs_diff(w[1]);
+            if jump > 0 {
+                switches += 1;
+                total_variation += jump;
+                max_jump = max_jump.max(jump);
+            }
+        }
+        let n = levels.len() as f64;
+        let mean = levels.iter().sum::<usize>() as f64 / n;
+        let var = levels
+            .iter()
+            .map(|&q| (q as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        Smoothness {
+            switches,
+            total_variation,
+            max_jump,
+            mean,
+            std_dev: var.sqrt(),
+            min_level: *levels.iter().min().expect("non-empty"),
+            max_level: *levels.iter().max().expect("non-empty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sequence_is_perfectly_smooth() {
+        let s = Smoothness::of(&[3, 3, 3, 3]);
+        assert_eq!(s.switches, 0);
+        assert_eq!(s.total_variation, 0);
+        assert_eq!(s.max_jump, 0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!((s.min_level, s.max_level), (3, 3));
+    }
+
+    #[test]
+    fn oscillation_is_detected() {
+        let s = Smoothness::of(&[0, 4, 0, 4]);
+        assert_eq!(s.switches, 3);
+        assert_eq!(s.total_variation, 12);
+        assert_eq!(s.max_jump, 4);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn gentle_ramp_beats_oscillation_in_variation() {
+        let ramp = Smoothness::of(&[0, 1, 2, 3, 4]);
+        let osc = Smoothness::of(&[0, 4, 0, 4, 0]);
+        assert!(ramp.total_variation < osc.total_variation);
+        assert!(ramp.max_jump < osc.max_jump);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = Smoothness::of(&[]);
+        assert_eq!(e.switches, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = Smoothness::of(&[5]);
+        assert_eq!(s.switches, 0);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!((s.min_level, s.max_level), (5, 5));
+    }
+
+    #[test]
+    fn std_dev_of_known_distribution() {
+        let s = Smoothness::of(&[2, 4]);
+        assert!((s.std_dev - 1.0).abs() < 1e-12);
+    }
+}

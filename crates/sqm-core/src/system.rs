@@ -1,0 +1,335 @@
+//! The parameterized system `PS = ((A, S), Q, Cwc, Cav, D)`.
+//!
+//! Definition 1 of the paper: an already-scheduled application software,
+//! i.e. a finite sequence of atomic actions, a finite set of integer quality
+//! levels, worst-case and average execution-time functions non-decreasing in
+//! quality, and a (partial) deadline function. A [`ParameterizedSystem`]
+//! bundles all of this together with the prefix-sum structures every policy
+//! needs, and validates the structural invariants once, at construction:
+//!
+//! * at least one action, and the **last action carries a deadline** (so
+//!   `tD` is defined at every state);
+//! * timing-table invariants (see [`crate::timing::TimeTable`]);
+//! * **feasibility at minimal quality**: running everything at `qmin` under
+//!   worst-case times meets every deadline (`minA(0) ≥ 0`). This is the
+//!   premise under which the mixed policy is safe.
+
+use crate::action::{ActionId, ActionInfo, DeadlineMap};
+use crate::error::BuildError;
+use crate::prefix::{DeadlineSuffixMin, PrefixSums};
+use crate::quality::{Quality, QualitySet};
+use crate::time::Time;
+use crate::timing::TimeTable;
+
+/// An immutable, validated parameterized system. All policies, managers and
+/// the offline compiler borrow one of these.
+#[derive(Clone, Debug)]
+pub struct ParameterizedSystem {
+    actions: Vec<ActionInfo>,
+    table: TimeTable,
+    deadlines: DeadlineMap,
+    prefix: PrefixSums,
+    /// `minA(i) = min_{k ≥ i, k ∈ dom D} ( D(a_k) − Wmin[k+1] )` — the
+    /// deadline suffix minimum with respect to `Cwc(·, qmin)` prefix sums,
+    /// shared by the safe and mixed policies.
+    min_a_wcmin: DeadlineSuffixMin,
+}
+
+impl ParameterizedSystem {
+    /// Validate and assemble a system.
+    pub fn new(
+        actions: Vec<ActionInfo>,
+        table: TimeTable,
+        deadlines: DeadlineMap,
+    ) -> Result<ParameterizedSystem, BuildError> {
+        let n = table.n_actions();
+        if n == 0 {
+            return Err(BuildError::EmptyActionSequence);
+        }
+        if actions.len() != n {
+            return Err(BuildError::ActionCountMismatch {
+                actions: actions.len(),
+                table: n,
+            });
+        }
+        if deadlines.len() != n {
+            return Err(BuildError::DeadlineCountMismatch {
+                actions: n,
+                deadlines: deadlines.len(),
+            });
+        }
+        if deadlines.last_constrained() != Some(n - 1) {
+            return Err(BuildError::NoFinalDeadline);
+        }
+        let prefix = PrefixSums::new(&table);
+        let wcmin: Vec<i64> = (0..=n).map(|x| prefix.wc_prefix(Quality::MIN, x)).collect();
+        let min_a_wcmin = DeadlineSuffixMin::new(&wcmin, &deadlines);
+        let slack = min_a_wcmin.at(0);
+        if slack < Time::ZERO {
+            return Err(BuildError::InfeasibleAtMinQuality { slack });
+        }
+        Ok(ParameterizedSystem {
+            actions,
+            table,
+            deadlines,
+            prefix,
+            min_a_wcmin,
+        })
+    }
+
+    /// Number of actions `n = |A|`.
+    #[inline]
+    pub fn n_actions(&self) -> usize {
+        self.table.n_actions()
+    }
+
+    /// The quality set `Q`.
+    #[inline]
+    pub fn qualities(&self) -> QualitySet {
+        self.table.qualities()
+    }
+
+    /// Descriptor of action `a`.
+    #[inline]
+    pub fn action(&self, a: ActionId) -> &ActionInfo {
+        &self.actions[a]
+    }
+
+    /// All action descriptors in sequence order.
+    #[inline]
+    pub fn actions(&self) -> &[ActionInfo] {
+        &self.actions
+    }
+
+    /// The validated timing table.
+    #[inline]
+    pub fn table(&self) -> &TimeTable {
+        &self.table
+    }
+
+    /// The deadline function.
+    #[inline]
+    pub fn deadlines(&self) -> &DeadlineMap {
+        &self.deadlines
+    }
+
+    /// Prefix sums over the timing table.
+    #[inline]
+    pub fn prefix(&self) -> &PrefixSums {
+        &self.prefix
+    }
+
+    /// `minA(i)` with respect to minimal-quality worst-case prefix sums.
+    #[inline]
+    pub fn min_a_wcmin(&self, state: usize) -> Time {
+        self.min_a_wcmin.at(state)
+    }
+
+    /// Worst-case slack of the whole cycle at minimal quality: how much
+    /// budget remains if everything behaves worst-case at `qmin`. This is
+    /// the paper's feasibility premise; it is `≥ 0` by construction.
+    #[inline]
+    pub fn min_quality_slack(&self) -> Time {
+        self.min_a_wcmin.at(0)
+    }
+
+    /// The deadline of the last action (the paper's per-cycle global
+    /// deadline `D(a_n)`).
+    #[inline]
+    pub fn final_deadline(&self) -> Time {
+        self.deadlines
+            .get(self.n_actions() - 1)
+            .expect("validated: last action has a deadline")
+    }
+}
+
+/// Fluent builder for small systems (tests, examples, documentation).
+/// Workload generators with thousands of actions should assemble a
+/// [`TimeTable`] directly via [`crate::timing::TimeTableBuilder`].
+///
+/// ```
+/// use sqm_core::prelude::*;
+/// let sys = SystemBuilder::new(3)
+///     .action("a", &[10, 20, 30], &[5, 10, 15])
+///     .action("b", &[10, 20, 30], &[5, 10, 15])
+///     .deadline_last(Time::from_ns(100))
+///     .build()
+///     .unwrap();
+/// assert_eq!(sys.n_actions(), 2);
+/// assert_eq!(sys.final_deadline(), Time::from_ns(100));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SystemBuilder {
+    n_quality: usize,
+    actions: Vec<ActionInfo>,
+    wc: Vec<Time>,
+    av: Vec<Time>,
+    deadlines: Vec<(usize, Time)>,
+    deadline_last: Option<Time>,
+}
+
+impl SystemBuilder {
+    /// Start a builder for systems with `n_quality` quality levels.
+    pub fn new(n_quality: usize) -> SystemBuilder {
+        SystemBuilder {
+            n_quality,
+            actions: Vec::new(),
+            wc: Vec::new(),
+            av: Vec::new(),
+            deadlines: Vec::new(),
+            deadline_last: None,
+        }
+    }
+
+    /// Append an action with worst-case and average rows in nanoseconds
+    /// (one entry per quality level).
+    pub fn action(mut self, name: &str, wc_ns: &[i64], av_ns: &[i64]) -> SystemBuilder {
+        assert_eq!(wc_ns.len(), self.n_quality, "wc row length must equal |Q|");
+        assert_eq!(av_ns.len(), self.n_quality, "av row length must equal |Q|");
+        self.actions.push(ActionInfo::named(name));
+        self.wc.extend(wc_ns.iter().map(|&v| Time::from_ns(v)));
+        self.av.extend(av_ns.iter().map(|&v| Time::from_ns(v)));
+        self
+    }
+
+    /// Constrain the `k`-th action with deadline `d` (relative to cycle
+    /// start).
+    pub fn deadline(mut self, k: usize, d: Time) -> SystemBuilder {
+        self.deadlines.push((k, d));
+        self
+    }
+
+    /// Constrain the final action — the cycle deadline.
+    pub fn deadline_last(mut self, d: Time) -> SystemBuilder {
+        self.deadline_last = Some(d);
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<ParameterizedSystem, BuildError> {
+        let qualities = QualitySet::new(self.n_quality).ok_or(BuildError::EmptyQualitySet)?;
+        let n = self.actions.len();
+        let table = TimeTable::new(qualities, n, self.wc, self.av)?;
+        let mut deadlines = DeadlineMap::new(n);
+        for (k, d) in self.deadlines {
+            deadlines.set(k, d);
+        }
+        if let Some(d) = self.deadline_last {
+            if n > 0 {
+                deadlines.set(n - 1, d);
+            }
+        }
+        ParameterizedSystem::new(self.actions, table, deadlines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_simple() -> ParameterizedSystem {
+        SystemBuilder::new(2)
+            .action("a", &[10, 20], &[5, 10])
+            .action("b", &[10, 20], &[5, 10])
+            .action("c", &[10, 20], &[5, 10])
+            .deadline_last(Time::from_ns(100))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn valid_system_builds() {
+        let s = build_simple();
+        assert_eq!(s.n_actions(), 3);
+        assert_eq!(s.qualities().len(), 2);
+        assert_eq!(s.final_deadline(), Time::from_ns(100));
+        assert_eq!(s.action(1).name, "b");
+        assert_eq!(s.actions().len(), 3);
+        // Wmin total = 30, deadline 100 → slack 70.
+        assert_eq!(s.min_quality_slack(), Time::from_ns(70));
+        assert_eq!(s.min_a_wcmin(3), Time::INF);
+    }
+
+    #[test]
+    fn rejects_empty_sequence() {
+        let err = SystemBuilder::new(2)
+            .deadline_last(Time::from_ns(1))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::EmptyActionSequence);
+    }
+
+    #[test]
+    fn rejects_missing_final_deadline() {
+        let err = SystemBuilder::new(1)
+            .action("a", &[10], &[5])
+            .action("b", &[10], &[5])
+            .deadline(0, Time::from_ns(50))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::NoFinalDeadline);
+    }
+
+    #[test]
+    fn rejects_infeasible_at_qmin() {
+        let err = SystemBuilder::new(2)
+            .action("a", &[60, 80], &[30, 40])
+            .action("b", &[60, 80], &[30, 40])
+            .deadline_last(Time::from_ns(100))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::InfeasibleAtMinQuality {
+                slack: Time::from_ns(-20)
+            }
+        );
+    }
+
+    #[test]
+    fn intermediate_deadline_participates_in_feasibility() {
+        // qmin worst case of a is 60 but its deadline is 50 → infeasible.
+        let err = SystemBuilder::new(1)
+            .action("a", &[60], &[30])
+            .action("b", &[10], &[5])
+            .deadline(0, Time::from_ns(50))
+            .deadline_last(Time::from_ns(1000))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::InfeasibleAtMinQuality { .. }));
+    }
+
+    #[test]
+    fn mismatched_counts_rejected() {
+        let table =
+            TimeTable::from_ns_rows(QualitySet::new(1).unwrap(), &[&[10], &[10]], &[&[5], &[5]])
+                .unwrap();
+        let err = ParameterizedSystem::new(
+            vec![ActionInfo::named("only-one")],
+            table.clone(),
+            DeadlineMap::single_global(2, Time::from_ns(100)),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::ActionCountMismatch {
+                actions: 1,
+                table: 2
+            }
+        );
+
+        let err = ParameterizedSystem::new(
+            vec![ActionInfo::named("a"), ActionInfo::named("b")],
+            table,
+            DeadlineMap::single_global(3, Time::from_ns(100)),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::DeadlineCountMismatch {
+                actions: 2,
+                deadlines: 3
+            }
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! Plain-text (de)serialization of the symbolic tables.
+//!
+//! The compiled artifacts must cross a tool boundary — in the paper they
+//! travel from the Matlab pre-computation into the BIP/Think build. We use
+//! a deliberately simple line-oriented text format (no external
+//! dependencies, diff-able, easy to load from C):
+//!
+//! ```text
+//! SQM-REGIONS v1
+//! states=3 qualities=2
+//! 120 80
+//! 100 70
+//! 90 60
+//! ```
+//!
+//! and for relaxation tables one `L`/`U` pair of lines per state, each with
+//! `|Q|·|ρ|` entries. Infinite bounds are spelled `inf` / `-inf`.
+
+use crate::error::ParseError;
+use crate::quality::QualitySet;
+use crate::regions::QualityRegionTable;
+use crate::relaxation::{RelaxationTable, StepSet};
+use crate::time::Time;
+use std::fmt::Write as _;
+
+fn write_time(out: &mut String, t: Time) {
+    match t {
+        Time::INF => out.push_str("inf"),
+        Time::NEG_INF => out.push_str("-inf"),
+        t => {
+            let _ = write!(out, "{}", t.as_ns());
+        }
+    }
+}
+
+fn parse_time(token: &str, line_no: usize) -> Result<Time, ParseError> {
+    match token {
+        "inf" => Ok(Time::INF),
+        "-inf" => Ok(Time::NEG_INF),
+        t => t
+            .parse::<i64>()
+            .map(Time::from_ns)
+            .map_err(|e| ParseError::BadLine {
+                line_no,
+                message: format!("bad time {t:?}: {e}"),
+            }),
+    }
+}
+
+fn parse_kv(token: &str, key: &str, header: &str) -> Result<usize, ParseError> {
+    token
+        .strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| ParseError::BadHeader(header.to_string()))
+}
+
+/// Serialize a quality region table.
+pub fn regions_to_string(t: &QualityRegionTable) -> String {
+    let nq = t.qualities().len();
+    let mut out = String::new();
+    out.push_str("SQM-REGIONS v1\n");
+    let _ = writeln!(out, "states={} qualities={}", t.n_states(), nq);
+    for state in 0..t.n_states() {
+        let row = &t.raw()[state * nq..(state + 1) * nq];
+        for (i, &v) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            write_time(&mut out, v);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a quality region table.
+pub fn regions_from_str(s: &str) -> Result<QualityRegionTable, ParseError> {
+    let mut lines = s.lines().enumerate();
+    let (_, magic) = lines
+        .next()
+        .ok_or_else(|| ParseError::BadHeader("empty input".into()))?;
+    if magic.trim() != "SQM-REGIONS v1" {
+        return Err(ParseError::BadHeader(magic.to_string()));
+    }
+    let (_, meta) = lines
+        .next()
+        .ok_or_else(|| ParseError::BadHeader("missing meta".into()))?;
+    let mut parts = meta.split_whitespace();
+    let states = parse_kv(parts.next().unwrap_or(""), "states", meta)?;
+    let nq = parse_kv(parts.next().unwrap_or(""), "qualities", meta)?;
+    let qualities = QualitySet::new(nq)
+        .ok_or_else(|| ParseError::Inconsistent(format!("bad quality count {nq}")))?;
+    let mut td = Vec::with_capacity(states * nq);
+    for (line_no, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        for token in line.split_whitespace() {
+            td.push(parse_time(token, line_no + 1)?);
+        }
+    }
+    if td.len() != states * nq {
+        return Err(ParseError::TruncatedPayload {
+            expected: states * nq,
+            got: td.len(),
+        });
+    }
+    QualityRegionTable::from_raw(states, qualities, td)
+        .ok_or_else(|| ParseError::Inconsistent("shape mismatch".into()))
+}
+
+/// Serialize a relaxation table.
+pub fn relaxation_to_string(t: &RelaxationTable) -> String {
+    let nq = t.qualities().len();
+    let nr = t.rho().len();
+    let mut out = String::new();
+    out.push_str("SQM-RELAX v1\n");
+    let _ = write!(out, "states={} qualities={} rho=", t.n_states(), nq);
+    for (i, &r) in t.rho().steps().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{r}");
+    }
+    out.push('\n');
+    let (lower, upper) = t.raw();
+    for state in 0..t.n_states() {
+        let range = state * nq * nr..(state + 1) * nq * nr;
+        for (tag, data) in [("L", &lower[range.clone()]), ("U", &upper[range])] {
+            out.push_str(tag);
+            for &v in data {
+                out.push(' ');
+                write_time(&mut out, v);
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parse a relaxation table.
+pub fn relaxation_from_str(s: &str) -> Result<RelaxationTable, ParseError> {
+    let mut lines = s.lines().enumerate();
+    let (_, magic) = lines
+        .next()
+        .ok_or_else(|| ParseError::BadHeader("empty input".into()))?;
+    if magic.trim() != "SQM-RELAX v1" {
+        return Err(ParseError::BadHeader(magic.to_string()));
+    }
+    let (_, meta) = lines
+        .next()
+        .ok_or_else(|| ParseError::BadHeader("missing meta".into()))?;
+    let mut parts = meta.split_whitespace();
+    let states = parse_kv(parts.next().unwrap_or(""), "states", meta)?;
+    let nq = parse_kv(parts.next().unwrap_or(""), "qualities", meta)?;
+    let rho_part = parts
+        .next()
+        .and_then(|p| p.strip_prefix("rho="))
+        .ok_or_else(|| ParseError::BadHeader(meta.to_string()))?;
+    let steps: Vec<usize> = rho_part
+        .split(',')
+        .map(|v| v.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| ParseError::BadHeader(format!("bad rho: {e}")))?;
+    let rho =
+        StepSet::new(steps).map_err(|e| ParseError::Inconsistent(format!("bad step set: {e}")))?;
+    let qualities = QualitySet::new(nq)
+        .ok_or_else(|| ParseError::Inconsistent(format!("bad quality count {nq}")))?;
+    let expected = states * nq * rho.len();
+    let mut lower = Vec::with_capacity(expected);
+    let mut upper = Vec::with_capacity(expected);
+    for (line_no, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (tag, rest) = line.split_at(1);
+        let dest = match tag {
+            "L" => &mut lower,
+            "U" => &mut upper,
+            other => {
+                return Err(ParseError::BadLine {
+                    line_no: line_no + 1,
+                    message: format!("expected L or U, got {other:?}"),
+                })
+            }
+        };
+        for token in rest.split_whitespace() {
+            dest.push(parse_time(token, line_no + 1)?);
+        }
+    }
+    if lower.len() != expected || upper.len() != expected {
+        return Err(ParseError::TruncatedPayload {
+            expected: 2 * expected,
+            got: lower.len() + upper.len(),
+        });
+    }
+    RelaxationTable::from_raw(states, qualities, rho, lower, upper)
+        .ok_or_else(|| ParseError::Inconsistent("shape mismatch".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile_all, compile_regions};
+    use crate::system::{ParameterizedSystem, SystemBuilder};
+
+    fn sys() -> ParameterizedSystem {
+        SystemBuilder::new(3)
+            .action("a", &[10, 25, 40], &[4, 9, 14])
+            .action("b", &[12, 22, 35], &[6, 11, 17])
+            .action("c", &[8, 18, 28], &[3, 8, 12])
+            .deadline_last(Time::from_ns(110))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn regions_roundtrip() {
+        let t = compile_regions(&sys());
+        let text = regions_to_string(&t);
+        let back = regions_from_str(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn relaxation_roundtrip() {
+        let s = sys();
+        let c = compile_all(&s, Some(StepSet::new(vec![1, 2]).unwrap()));
+        let t = c.relaxation.unwrap();
+        let text = relaxation_to_string(&t);
+        let back = relaxation_from_str(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn infinite_bounds_survive_roundtrip() {
+        let s = sys();
+        let c = compile_all(&s, Some(StepSet::new(vec![1, 2, 3]).unwrap()));
+        let t = c.relaxation.unwrap();
+        // The qmax lower bounds are −∞ and overrunning windows are +∞/−∞.
+        let text = relaxation_to_string(&t);
+        assert!(text.contains("-inf"));
+        assert!(text.contains(" inf"));
+        assert_eq!(relaxation_from_str(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert!(matches!(
+            regions_from_str(""),
+            Err(ParseError::BadHeader(_))
+        ));
+        assert!(matches!(
+            regions_from_str("WRONG v9\nstates=1 qualities=1\n5\n"),
+            Err(ParseError::BadHeader(_))
+        ));
+        assert!(matches!(
+            regions_from_str("SQM-REGIONS v1\nstates=2 qualities=2\n1 2\n"),
+            Err(ParseError::TruncatedPayload {
+                expected: 4,
+                got: 2
+            })
+        ));
+        assert!(matches!(
+            regions_from_str("SQM-REGIONS v1\nstates=1 qualities=1\nxyz\n"),
+            Err(ParseError::BadLine { .. })
+        ));
+        assert!(matches!(
+            relaxation_from_str("SQM-RELAX v1\nstates=1 qualities=1 rho=1\nZ 0\n"),
+            Err(ParseError::BadLine { .. })
+        ));
+        assert!(matches!(
+            relaxation_from_str("SQM-RELAX v1\nstates=1 qualities=1 rho=2,1\n"),
+            Err(ParseError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn format_is_line_oriented_and_stable() {
+        let t = compile_regions(&sys());
+        let text = regions_to_string(&t);
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("SQM-REGIONS v1"));
+        assert_eq!(lines.next(), Some("states=3 qualities=3"));
+        assert_eq!(text.lines().count(), 2 + 3);
+    }
+}

@@ -1,0 +1,293 @@
+//! Integer time base.
+//!
+//! All safety-critical comparisons in the quality manager (region bounds,
+//! deadlines, `tD` values) are carried out on a signed 64-bit count of
+//! nanoseconds. The paper stores region tables as integers for exactly this
+//! reason: the symbolic tables must be bit-exact with the numeric policy, and
+//! floating point would make `Rq` membership checks drift from the online
+//! computation.
+//!
+//! `Time` is a *point or span* on the virtual time line. Negative values are
+//! meaningful: `tD(s, q)` can be negative when a configuration is infeasible
+//! (the budget is exhausted before the remaining worst case), and relative
+//! cycle time can be negative when the previous cycle finished early.
+//! Two sentinels, [`Time::NEG_INF`] and [`Time::INF`], encode the open
+//! region bounds of Proposition 2 (`(-∞, tD(s, qmax)]`). All arithmetic is
+//! saturating so the sentinels are absorbing.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+/// A point in time or a duration, in nanoseconds (signed).
+///
+/// ```
+/// use sqm_core::time::Time;
+/// let t = Time::from_ms(30_000); // the paper's 30 s global deadline
+/// assert_eq!(t.as_secs_f64(), 30.0);
+/// assert!(Time::NEG_INF < Time::ZERO && Time::ZERO < Time::INF);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(i64);
+
+impl Time {
+    /// The origin / the zero duration.
+    pub const ZERO: Time = Time(0);
+    /// Absorbing "plus infinity" (no deadline / unconstrained upper bound).
+    pub const INF: Time = Time(i64::MAX);
+    /// Absorbing "minus infinity" (open lower bound of the `qmax` region).
+    pub const NEG_INF: Time = Time(i64::MIN);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: i64) -> Time {
+        Time(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: i64) -> Time {
+        Time(us.saturating_mul(1_000))
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: i64) -> Time {
+        Time(ms.saturating_mul(1_000_000))
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: i64) -> Time {
+        Time(s.saturating_mul(1_000_000_000))
+    }
+
+    /// Construct from fractional seconds (rounds to the nearest nanosecond).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Time {
+        Time((s * 1e9).round() as i64)
+    }
+
+    /// Nanosecond count.
+    #[inline]
+    pub const fn as_ns(self) -> i64 {
+        self.0
+    }
+
+    /// Value in seconds, as `f64` (observational use only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Value in milliseconds, as `f64` (observational use only).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// `true` for either infinity sentinel.
+    #[inline]
+    pub const fn is_infinite(self) -> bool {
+        self.0 == i64::MAX || self.0 == i64::MIN
+    }
+
+    /// Saturating addition; the sentinels are absorbing.
+    #[inline]
+    pub const fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction; the sentinels are absorbing.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating multiplication by an integer scalar.
+    #[inline]
+    pub const fn saturating_mul(self, k: i64) -> Time {
+        Time(self.0.saturating_mul(k))
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Clamp into `[lo, hi]`.
+    #[inline]
+    pub fn clamp(self, lo: Time, hi: Time) -> Time {
+        debug_assert!(lo <= hi);
+        self.max(lo).min(hi)
+    }
+
+    /// `true` if this time is non-negative (a valid elapsed time).
+    #[inline]
+    pub const fn is_non_negative(self) -> bool {
+        self.0 >= 0
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Time {
+    type Output = Time;
+    #[inline]
+    fn neg(self) -> Time {
+        // Negating i64::MIN would overflow; map the sentinels onto each other.
+        if self == Time::NEG_INF {
+            Time::INF
+        } else {
+            Time(-self.0)
+        }
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Time::INF => write!(f, "+inf"),
+            Time::NEG_INF => write!(f, "-inf"),
+            Time(ns) => write!(f, "{ns}ns"),
+        }
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Time::INF => write!(f, "+inf"),
+            Time::NEG_INF => write!(f, "-inf"),
+            Time(ns) => {
+                let abs = ns.unsigned_abs();
+                if abs >= 1_000_000_000 {
+                    write!(f, "{:.3}s", self.as_secs_f64())
+                } else if abs >= 1_000_000 {
+                    write!(f, "{:.3}ms", self.as_millis_f64())
+                } else if abs >= 1_000 {
+                    write!(f, "{:.3}us", ns as f64 / 1e3)
+                } else {
+                    write!(f, "{ns}ns")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Time::from_us(1), Time::from_ns(1_000));
+        assert_eq!(Time::from_ms(1), Time::from_us(1_000));
+        assert_eq!(Time::from_secs(1), Time::from_ms(1_000));
+        assert_eq!(Time::from_secs_f64(0.5), Time::from_ms(500));
+    }
+
+    #[test]
+    fn ordering_and_sentinels() {
+        assert!(Time::NEG_INF < Time::from_ns(i64::MIN + 1));
+        assert!(Time::from_ns(i64::MAX - 1) < Time::INF);
+        assert!(Time::NEG_INF.is_infinite());
+        assert!(Time::INF.is_infinite());
+        assert!(!Time::ZERO.is_infinite());
+    }
+
+    #[test]
+    fn saturating_arithmetic_absorbs_sentinels() {
+        assert_eq!(Time::INF + Time::from_secs(5), Time::INF);
+        assert_eq!(
+            Time::INF - Time::from_secs(5),
+            Time::INF - Time::from_secs(5)
+        );
+        assert_eq!(Time::NEG_INF + Time::from_ns(-1), Time::NEG_INF);
+        assert_eq!(Time::INF.saturating_add(Time::INF), Time::INF);
+        assert_eq!(Time::NEG_INF.saturating_sub(Time::INF), Time::NEG_INF);
+    }
+
+    #[test]
+    fn negation_swaps_sentinels() {
+        assert_eq!(-Time::INF, Time::from_ns(-i64::MAX));
+        assert_eq!(-Time::NEG_INF, Time::INF);
+        assert_eq!(-Time::from_ns(7), Time::from_ns(-7));
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Time::from_ns(3);
+        let b = Time::from_ns(9);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(Time::from_ns(100).clamp(a, b), b);
+        assert_eq!(Time::from_ns(-4).clamp(a, b), a);
+        assert_eq!(Time::from_ns(5).clamp(a, b), Time::from_ns(5));
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: Time = [1, 2, 3].iter().map(|&n| Time::from_ns(n)).sum();
+        assert_eq!(total, Time::from_ns(6));
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(Time::from_ns(12).to_string(), "12ns");
+        assert_eq!(Time::from_us(12).to_string(), "12.000us");
+        assert_eq!(Time::from_ms(12).to_string(), "12.000ms");
+        assert_eq!(Time::from_secs(12).to_string(), "12.000s");
+        assert_eq!(Time::INF.to_string(), "+inf");
+        assert_eq!(Time::NEG_INF.to_string(), "-inf");
+    }
+}

@@ -1,0 +1,333 @@
+//! Execution-time functions `Cwc` and `Cav`.
+//!
+//! A [`TimeTable`] stores, for every action and every quality level, the
+//! platform-dependent *worst-case* execution time `Cwc(a, q)` and *average*
+//! execution time `Cav(a, q)` (Definition 1 of the paper, plus the average
+//! function of the mixed policy). Both must be:
+//!
+//! * non-negative,
+//! * non-decreasing in the quality level (`q ↦ C(a, q)` non-decreasing), and
+//! * consistent: `Cav(a, q) ≤ Cwc(a, q)`.
+//!
+//! These invariants are checked once at construction so that every policy
+//! and region computation downstream can rely on them without re-validation.
+
+use crate::action::ActionId;
+use crate::error::BuildError;
+use crate::quality::{Quality, QualitySet};
+use crate::time::Time;
+
+/// Dense `(action × quality)` table of worst-case and average execution
+/// times. Row-major by action: entry `(a, q)` lives at `a * |Q| + q`.
+///
+/// ```
+/// use sqm_core::timing::TimeTable;
+/// use sqm_core::quality::{Quality, QualitySet};
+/// use sqm_core::time::Time;
+///
+/// let q = QualitySet::new(2).unwrap();
+/// let table = TimeTable::from_ns_rows(
+///     q,
+///     &[&[100, 200], &[300, 450]], // Cwc rows, one per action
+///     &[&[60, 140], &[200, 320]],  // Cav rows
+/// ).unwrap();
+/// assert_eq!(table.wc(1, Quality::new(1)), Time::from_ns(450));
+/// assert_eq!(table.av(0, Quality::new(0)), Time::from_ns(60));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimeTable {
+    qualities: QualitySet,
+    n_actions: usize,
+    /// Worst-case times, `n_actions * |Q|` entries.
+    wc: Vec<Time>,
+    /// Average times, `n_actions * |Q|` entries.
+    av: Vec<Time>,
+}
+
+impl TimeTable {
+    /// Build from flat row-major vectors. `wc` and `av` must both hold
+    /// `n_actions * |Q|` entries.
+    pub fn new(
+        qualities: QualitySet,
+        n_actions: usize,
+        wc: Vec<Time>,
+        av: Vec<Time>,
+    ) -> Result<TimeTable, BuildError> {
+        let expect = n_actions * qualities.len();
+        if wc.len() != expect || av.len() != expect {
+            return Err(BuildError::TableShape {
+                expected: expect,
+                got_wc: wc.len(),
+                got_av: av.len(),
+            });
+        }
+        let table = TimeTable {
+            qualities,
+            n_actions,
+            wc,
+            av,
+        };
+        table.validate()?;
+        Ok(table)
+    }
+
+    /// Convenience constructor from per-action nanosecond rows.
+    pub fn from_ns_rows(
+        qualities: QualitySet,
+        wc_rows: &[&[i64]],
+        av_rows: &[&[i64]],
+    ) -> Result<TimeTable, BuildError> {
+        let n = wc_rows.len();
+        if av_rows.len() != n {
+            return Err(BuildError::TableShape {
+                expected: n * qualities.len(),
+                got_wc: wc_rows.iter().map(|r| r.len()).sum(),
+                got_av: av_rows.iter().map(|r| r.len()).sum(),
+            });
+        }
+        let flat = |rows: &[&[i64]]| -> Vec<Time> {
+            rows.iter()
+                .flat_map(|r| r.iter().map(|&ns| Time::from_ns(ns)))
+                .collect()
+        };
+        TimeTable::new(qualities, n, flat(wc_rows), flat(av_rows))
+    }
+
+    fn validate(&self) -> Result<(), BuildError> {
+        let nq = self.qualities.len();
+        for a in 0..self.n_actions {
+            for qi in 0..nq {
+                let q = Quality::new(qi as u8);
+                let wc = self.wc(a, q);
+                let av = self.av(a, q);
+                if wc < Time::ZERO || av < Time::ZERO {
+                    return Err(BuildError::NegativeTime {
+                        action: a,
+                        quality: q,
+                    });
+                }
+                if av > wc {
+                    return Err(BuildError::AverageAboveWorstCase {
+                        action: a,
+                        quality: q,
+                    });
+                }
+                if qi > 0 {
+                    let prev = Quality::new((qi - 1) as u8);
+                    if wc < self.wc(a, prev) || av < self.av(a, prev) {
+                        return Err(BuildError::NonMonotoneQuality {
+                            action: a,
+                            quality: q,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The quality set this table is defined over.
+    #[inline]
+    pub fn qualities(&self) -> QualitySet {
+        self.qualities
+    }
+
+    /// Number of actions.
+    #[inline]
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    /// Worst-case execution time `Cwc(a, q)`.
+    #[inline]
+    pub fn wc(&self, a: ActionId, q: Quality) -> Time {
+        self.wc[a * self.qualities.len() + q.index()]
+    }
+
+    /// Average execution time `Cav(a, q)`.
+    #[inline]
+    pub fn av(&self, a: ActionId, q: Quality) -> Time {
+        self.av[a * self.qualities.len() + q.index()]
+    }
+
+    /// Total worst-case time of the action range `lo..hi` at constant `q`
+    /// (naive O(hi−lo) sum; [`crate::prefix::PrefixSums`] gives O(1)).
+    pub fn wc_range(&self, lo: ActionId, hi: ActionId, q: Quality) -> Time {
+        (lo..hi).map(|a| self.wc(a, q)).sum()
+    }
+
+    /// Total average time of the action range `lo..hi` at constant `q`.
+    pub fn av_range(&self, lo: ActionId, hi: ActionId, q: Quality) -> Time {
+        (lo..hi).map(|a| self.av(a, q)).sum()
+    }
+
+    /// Inflate every worst-case entry by `permille/1000` (rounded up), e.g.
+    /// to account for the Quality Manager's own execution time as the paper
+    /// suggests ("adequately overestimate average and worst-case execution
+    /// times").
+    pub fn inflate_wc_permille(&self, permille: i64) -> TimeTable {
+        let wc = self
+            .wc
+            .iter()
+            .map(|t| {
+                let ns = t.as_ns();
+                Time::from_ns(ns + (ns * permille + 999) / 1000)
+            })
+            .collect();
+        TimeTable {
+            qualities: self.qualities,
+            n_actions: self.n_actions,
+            wc,
+            av: self.av.clone(),
+        }
+    }
+}
+
+/// Incremental builder used by workload generators: push one action row at a
+/// time, then [`TimeTableBuilder::build`].
+#[derive(Clone, Debug, Default)]
+pub struct TimeTableBuilder {
+    wc: Vec<Time>,
+    av: Vec<Time>,
+    n_actions: usize,
+    n_quality: Option<usize>,
+}
+
+impl TimeTableBuilder {
+    /// Empty builder.
+    pub fn new() -> TimeTableBuilder {
+        TimeTableBuilder::default()
+    }
+
+    /// Append one action's `(Cwc, Cav)` rows (one entry per quality level).
+    pub fn push_action(&mut self, wc_row: &[Time], av_row: &[Time]) -> &mut Self {
+        debug_assert_eq!(wc_row.len(), av_row.len());
+        match self.n_quality {
+            None => self.n_quality = Some(wc_row.len()),
+            Some(nq) => debug_assert_eq!(nq, wc_row.len()),
+        }
+        self.wc.extend_from_slice(wc_row);
+        self.av.extend_from_slice(av_row);
+        self.n_actions += 1;
+        self
+    }
+
+    /// Number of actions pushed so far.
+    pub fn len(&self) -> usize {
+        self.n_actions
+    }
+
+    /// `true` before the first `push_action`.
+    pub fn is_empty(&self) -> bool {
+        self.n_actions == 0
+    }
+
+    /// Finalize into a validated [`TimeTable`].
+    pub fn build(self) -> Result<TimeTable, BuildError> {
+        let nq = self.n_quality.unwrap_or(1);
+        let qualities = QualitySet::new(nq).ok_or(BuildError::EmptyQualitySet)?;
+        TimeTable::new(qualities, self.n_actions, self.wc, self.av)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q2() -> QualitySet {
+        QualitySet::new(2).unwrap()
+    }
+
+    #[test]
+    fn valid_table_roundtrips() {
+        let t = TimeTable::from_ns_rows(q2(), &[&[10, 20], &[5, 5]], &[&[4, 8], &[5, 5]]).unwrap();
+        assert_eq!(t.n_actions(), 2);
+        assert_eq!(t.wc(0, Quality::new(1)), Time::from_ns(20));
+        assert_eq!(t.av(1, Quality::new(0)), Time::from_ns(5));
+    }
+
+    #[test]
+    fn rejects_wrong_shape() {
+        let err = TimeTable::new(q2(), 2, vec![Time::ZERO; 3], vec![Time::ZERO; 4]).unwrap_err();
+        assert!(matches!(err, BuildError::TableShape { expected: 4, .. }));
+    }
+
+    #[test]
+    fn rejects_average_above_worst_case() {
+        let err = TimeTable::from_ns_rows(q2(), &[&[10, 20]], &[&[11, 8]]).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::AverageAboveWorstCase { action: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_non_monotone_quality() {
+        let err = TimeTable::from_ns_rows(q2(), &[&[20, 10]], &[&[4, 4]]).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::NonMonotoneQuality { action: 0, .. }
+        ));
+        let err = TimeTable::from_ns_rows(q2(), &[&[20, 20]], &[&[8, 4]]).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::NonMonotoneQuality { action: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_times() {
+        let err = TimeTable::from_ns_rows(q2(), &[&[-1, 0]], &[&[-1, 0]]).unwrap_err();
+        assert!(matches!(err, BuildError::NegativeTime { .. }));
+    }
+
+    #[test]
+    fn range_sums() {
+        let t = TimeTable::from_ns_rows(
+            q2(),
+            &[&[10, 20], &[30, 40], &[50, 60]],
+            &[&[1, 2], &[3, 4], &[5, 6]],
+        )
+        .unwrap();
+        assert_eq!(t.wc_range(0, 3, Quality::new(0)), Time::from_ns(90));
+        assert_eq!(t.wc_range(1, 3, Quality::new(1)), Time::from_ns(100));
+        assert_eq!(t.av_range(0, 2, Quality::new(1)), Time::from_ns(6));
+        assert_eq!(t.av_range(2, 2, Quality::new(1)), Time::ZERO, "empty range");
+    }
+
+    #[test]
+    fn builder_matches_direct_construction() {
+        let mut b = TimeTableBuilder::new();
+        assert!(b.is_empty());
+        b.push_action(
+            &[Time::from_ns(10), Time::from_ns(20)],
+            &[Time::from_ns(4), Time::from_ns(8)],
+        );
+        b.push_action(
+            &[Time::from_ns(5), Time::from_ns(5)],
+            &[Time::from_ns(5), Time::from_ns(5)],
+        );
+        assert_eq!(b.len(), 2);
+        let t = b.build().unwrap();
+        let direct =
+            TimeTable::from_ns_rows(q2(), &[&[10, 20], &[5, 5]], &[&[4, 8], &[5, 5]]).unwrap();
+        assert_eq!(t, direct);
+    }
+
+    #[test]
+    fn inflation_rounds_up_and_keeps_invariants() {
+        let t = TimeTable::from_ns_rows(q2(), &[&[10, 201]], &[&[4, 8]]).unwrap();
+        let inflated = t.inflate_wc_permille(100); // +10 %
+        assert_eq!(inflated.wc(0, Quality::new(0)), Time::from_ns(11));
+        assert_eq!(
+            inflated.wc(0, Quality::new(1)),
+            Time::from_ns(222),
+            "ceil(201*1.1)"
+        );
+        assert_eq!(
+            inflated.av(0, Quality::new(0)),
+            Time::from_ns(4),
+            "averages untouched"
+        );
+    }
+}

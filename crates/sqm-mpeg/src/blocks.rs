@@ -1,0 +1,365 @@
+//! Integer signal-processing kernels.
+//!
+//! Real (if compact) implementations of the encoder's inner loops, so that
+//! benchmark workloads burn genuine, quality-dependent CPU time and the
+//! rate/distortion metrics have physical meaning:
+//!
+//! * an 8×8 separable integer DCT and its inverse (fixed-point, 13-bit
+//!   coefficient scale);
+//! * uniform quantization with a quality-level-dependent step;
+//! * a zigzag run-length estimate of the entropy-coded size;
+//! * exhaustive block motion search with a quality-dependent window.
+
+/// Fixed-point scale for the DCT basis (13 bits).
+const FIX: i32 = 1 << 13;
+const FIX_SHIFT: u32 = 13;
+
+/// cos((2x+1)·u·π/16) · √(1/4 or 1/8) in fixed point, indexed `[u][x]`.
+fn dct_basis() -> [[i32; 8]; 8] {
+    let mut b = [[0i32; 8]; 8];
+    for (u, row) in b.iter_mut().enumerate() {
+        let cu = if u == 0 { (0.125f64).sqrt() } else { 0.5 };
+        for (x, v) in row.iter_mut().enumerate() {
+            let angle = (2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0;
+            *v = (cu * angle.cos() * FIX as f64).round() as i32;
+        }
+    }
+    b
+}
+
+/// Forward 8×8 DCT (separable, fixed point). Input pixels `0..=255`,
+/// output coefficients roughly `−2048..=2048`.
+pub fn fdct8(block: &[[i32; 8]; 8]) -> [[i32; 8]; 8] {
+    let basis = dct_basis();
+    // Rows.
+    let mut tmp = [[0i64; 8]; 8];
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0i64;
+            for x in 0..8 {
+                acc += basis[u][x] as i64 * block[y][x] as i64;
+            }
+            tmp[y][u] = (acc + (1 << (FIX_SHIFT - 1))) >> FIX_SHIFT;
+        }
+    }
+    // Columns.
+    let mut out = [[0i32; 8]; 8];
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut acc = 0i64;
+            for y in 0..8 {
+                acc += basis[v][y] as i64 * tmp[y][u];
+            }
+            out[v][u] = ((acc + (1 << (FIX_SHIFT - 1))) >> FIX_SHIFT) as i32;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT. `idct8(fdct8(b))` reconstructs `b` within ±2.
+pub fn idct8(coeffs: &[[i32; 8]; 8]) -> [[i32; 8]; 8] {
+    let basis = dct_basis();
+    let mut tmp = [[0i64; 8]; 8];
+    for v in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0i64;
+            for u in 0..8 {
+                acc += basis[u][x] as i64 * coeffs[v][u] as i64;
+            }
+            tmp[v][x] = (acc + (1 << (FIX_SHIFT - 1))) >> FIX_SHIFT;
+        }
+    }
+    let mut out = [[0i32; 8]; 8];
+    for x in 0..8 {
+        for y in 0..8 {
+            let mut acc = 0i64;
+            for v in 0..8 {
+                acc += basis[v][y] as i64 * tmp[v][x];
+            }
+            out[y][x] = ((acc + (1 << (FIX_SHIFT - 1))) >> FIX_SHIFT) as i32;
+        }
+    }
+    out
+}
+
+/// Quantization step for a quality level: level 0 is coarse (step 40),
+/// each level refines by 5 down to step 10 at level 6 — monotone rate
+/// increase, the knob the Quality Manager turns.
+pub fn quant_step(quality: usize) -> i32 {
+    (40 - 5 * quality as i32).max(4)
+}
+
+/// Uniformly quantize DCT coefficients.
+pub fn quantize(coeffs: &[[i32; 8]; 8], step: i32) -> [[i32; 8]; 8] {
+    let mut out = [[0i32; 8]; 8];
+    for y in 0..8 {
+        for x in 0..8 {
+            let c = coeffs[y][x];
+            out[y][x] = if c >= 0 {
+                (c + step / 2) / step
+            } else {
+                -((-c + step / 2) / step)
+            };
+        }
+    }
+    out
+}
+
+/// Reconstruct coefficients from quantized levels.
+pub fn dequantize(levels: &[[i32; 8]; 8], step: i32) -> [[i32; 8]; 8] {
+    let mut out = [[0i32; 8]; 8];
+    for y in 0..8 {
+        for x in 0..8 {
+            out[y][x] = levels[y][x] * step;
+        }
+    }
+    out
+}
+
+/// Zigzag scan order of an 8×8 block.
+fn zigzag() -> [(usize, usize); 64] {
+    let mut order = [(0usize, 0usize); 64];
+    let (mut x, mut y) = (0i32, 0i32);
+    for item in order.iter_mut() {
+        *item = (y as usize, x as usize);
+        if (x + y) % 2 == 0 {
+            // moving up-right
+            if x == 7 {
+                y += 1;
+            } else if y == 0 {
+                x += 1;
+            } else {
+                x += 1;
+                y -= 1;
+            }
+        } else {
+            // moving down-left
+            if y == 7 {
+                x += 1;
+            } else if x == 0 {
+                y += 1;
+            } else {
+                x -= 1;
+                y += 1;
+            }
+        }
+    }
+    order
+}
+
+/// Estimated entropy-coded size, in bits, of a quantized block: a
+/// run-length/magnitude model (zero runs are cheap, each nonzero costs
+/// `3 + 2·log2(|level|)` bits plus the run prefix).
+pub fn entropy_size_bits(levels: &[[i32; 8]; 8]) -> usize {
+    let order = zigzag();
+    let mut bits = 0usize;
+    let mut run = 0usize;
+    for &(y, x) in &order {
+        let l = levels[y][x];
+        if l == 0 {
+            run += 1;
+        } else {
+            bits += 2 + usize::BITS as usize - (run + 1).leading_zeros() as usize; // run prefix
+            bits += 3 + 2 * (32 - (l.unsigned_abs()).leading_zeros() as usize); // magnitude
+            run = 0;
+        }
+    }
+    bits + 4 // end-of-block marker
+}
+
+/// Sum of absolute differences between two 8×8 blocks.
+pub fn sad8(a: &[[i32; 8]; 8], b: &[[i32; 8]; 8]) -> u32 {
+    let mut s = 0u32;
+    for y in 0..8 {
+        for x in 0..8 {
+            s += a[y][x].abs_diff(b[y][x]);
+        }
+    }
+    s
+}
+
+/// Exhaustive motion search: find the offset in `[−range, range]²` whose
+/// reference block (fetched through `fetch(dy, dx)`) minimizes SAD against
+/// `cur`. Returns `(dy, dx, sad)`. Cost grows as `(2·range+1)²` — the
+/// quality lever for the motion-estimation stage.
+pub fn motion_search<F>(cur: &[[i32; 8]; 8], range: i32, mut fetch: F) -> (i32, i32, u32)
+where
+    F: FnMut(i32, i32) -> [[i32; 8]; 8],
+{
+    let mut best = (0, 0, u32::MAX);
+    for dy in -range..=range {
+        for dx in -range..=range {
+            let candidate = fetch(dy, dx);
+            let s = sad8(cur, &candidate);
+            if s < best.2 || (s == best.2 && (dy, dx) < (best.0, best.1)) {
+                best = (dy, dx, s);
+            }
+        }
+    }
+    best
+}
+
+/// Motion-search window for a quality level (`±(1+q)` pixels).
+pub fn search_range(quality: usize) -> i32 {
+    1 + quality as i32
+}
+
+/// Full single-block encode at a quality level: DCT → quantize →
+/// entropy-size → reconstruct → distortion. Returns `(bits, sse)`.
+pub fn encode_block(block: &[[i32; 8]; 8], quality: usize) -> (usize, u64) {
+    let step = quant_step(quality);
+    let coeffs = fdct8(block);
+    let levels = quantize(&coeffs, step);
+    let bits = entropy_size_bits(&levels);
+    let recon = idct8(&dequantize(&levels, step));
+    let mut sse = 0u64;
+    for y in 0..8 {
+        for x in 0..8 {
+            let d = (block[y][x] - recon[y][x]) as i64;
+            sse += (d * d) as u64;
+        }
+    }
+    (bits, sse)
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    fn test_block() -> [[i32; 8]; 8] {
+        let mut b = [[0i32; 8]; 8];
+        for y in 0..8 {
+            for x in 0..8 {
+                b[y][x] = (128 + 40 * ((x as i32 + 2 * y as i32) % 3) - 20) & 0xFF;
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn dct_roundtrip_is_near_lossless() {
+        let b = test_block();
+        let recon = idct8(&fdct8(&b));
+        for y in 0..8 {
+            for x in 0..8 {
+                assert!(
+                    (b[y][x] - recon[y][x]).abs() <= 2,
+                    "({y},{x}): {} vs {}",
+                    b[y][x],
+                    recon[y][x]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dct_dc_of_flat_block() {
+        let b = [[100i32; 8]; 8];
+        let c = fdct8(&b);
+        // DC ≈ 8 · 100 = 800; all AC ≈ 0.
+        assert!((c[0][0] - 800).abs() <= 4, "DC = {}", c[0][0]);
+        for y in 0..8 {
+            for x in 0..8 {
+                if (y, x) != (0, 0) {
+                    assert!(c[y][x].abs() <= 2, "AC({y},{x}) = {}", c[y][x]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_roundtrip_error_bounded_by_half_step() {
+        let c = fdct8(&test_block());
+        for step in [10, 20, 40] {
+            let q = quantize(&c, step);
+            let d = dequantize(&q, step);
+            for y in 0..8 {
+                for x in 0..8 {
+                    assert!((c[y][x] - d[y][x]).abs() <= step / 2 + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quant_step_is_monotone_in_quality() {
+        for q in 1..7 {
+            assert!(quant_step(q) < quant_step(q - 1));
+        }
+        assert_eq!(quant_step(0), 40);
+        assert_eq!(quant_step(6), 10);
+        assert_eq!(quant_step(100), 4, "floor");
+    }
+
+    #[test]
+    fn higher_quality_never_fewer_bits_more_distortion() {
+        let b = test_block();
+        let mut prev_bits = 0;
+        let mut prev_sse = u64::MAX;
+        for q in 0..7 {
+            let (bits, sse) = encode_block(&b, q);
+            assert!(bits >= prev_bits, "bits monotone: q={q}");
+            assert!(sse <= prev_sse, "distortion anti-monotone: q={q}");
+            prev_bits = bits;
+            prev_sse = sse;
+        }
+    }
+
+    #[test]
+    fn zigzag_visits_every_cell_once() {
+        let order = zigzag();
+        let mut seen = [[false; 8]; 8];
+        for (y, x) in order {
+            assert!(!seen[y][x]);
+            seen[y][x] = true;
+        }
+        assert_eq!(order[0], (0, 0));
+        assert_eq!(order[63], (7, 7));
+        assert_eq!(order[1], (0, 1));
+        assert_eq!(order[2], (1, 0));
+    }
+
+    #[test]
+    fn entropy_size_of_empty_block_is_just_eob() {
+        assert_eq!(entropy_size_bits(&[[0; 8]; 8]), 4);
+        let mut one = [[0; 8]; 8];
+        one[0][0] = 1;
+        assert!(entropy_size_bits(&one) > 4);
+    }
+
+    #[test]
+    fn motion_search_finds_exact_shift() {
+        // A reference plane with a recognizable pattern; the current block
+        // is the reference shifted by (2, −1).
+        let plane = |y: i32, x: i32| -> i32 { ((x * 7 + y * 13) & 0xFF).abs() };
+        let block_at = |oy: i32, ox: i32| -> [[i32; 8]; 8] {
+            let mut b = [[0; 8]; 8];
+            for y in 0..8 {
+                for x in 0..8 {
+                    b[y as usize][x as usize] = plane(y + oy, x + ox);
+                }
+            }
+            b
+        };
+        let cur = block_at(2, -1);
+        let (dy, dx, sad) = motion_search(&cur, 3, block_at);
+        assert_eq!((dy, dx), (2, -1));
+        assert_eq!(sad, 0);
+    }
+
+    #[test]
+    fn search_range_grows_with_quality() {
+        assert_eq!(search_range(0), 1);
+        assert_eq!(search_range(6), 7);
+    }
+
+    #[test]
+    fn sad_is_zero_only_on_identical_blocks() {
+        let b = test_block();
+        assert_eq!(sad8(&b, &b), 0);
+        let mut c = b;
+        c[3][4] += 5;
+        assert_eq!(sad8(&b, &c), 5);
+    }
+}

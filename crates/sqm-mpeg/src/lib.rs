@@ -1,0 +1,39 @@
+//! # sqm-mpeg — the MPEG-encoder workload of the paper's evaluation
+//!
+//! §4.1 of the paper evaluates on an MPEG video encoder: 29 frames of
+//! 352×288 pixels, each split into 396 macroblocks of 256 pixels, scheduled
+//! into `|A| = 1,189` actions (three pipeline actions per macroblock plus
+//! one frame action) with `|Q| = 7` quality levels and a global deadline of
+//! 30 s. The original 7,000-line C encoder is not available; this crate
+//! builds the closest synthetic equivalent:
+//!
+//! * [`video`] — a procedural video source with per-macroblock texture and
+//!   motion complexity, scene cuts, and deterministic seeding. The Quality
+//!   Manager never looks at pixels; what matters is that per-action
+//!   execution times vary with content, burst at scene changes, and stay
+//!   bounded by the worst case — which this source drives.
+//! * [`blocks`] — real integer signal-processing kernels (8×8 DCT,
+//!   quantization, run-length entropy size, exhaustive motion search) so
+//!   that benchmarks exercise genuine CPU work whose cost scales with the
+//!   quality level exactly like the paper's encoder actions.
+//! * [`encoder`] — assembles the `3·N + 1`-action parameterized system
+//!   (1,189 actions for the paper's 396 macroblocks), its quality-dependent
+//!   timing tables, and the execution-time source that ties actual times to
+//!   the video's content.
+//! * [`metrics`] — a PSNR-style rate/distortion proxy mapping chosen
+//!   quality levels to perceived video quality (the paper's "significant
+//!   improvement of the overall video quality").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod encoder;
+pub mod gop;
+pub mod metrics;
+pub mod rate;
+pub mod video;
+
+pub use encoder::{EncoderConfig, EncoderExec, MpegEncoder};
+pub use gop::{FrameKind, GopPattern};
+pub use video::SyntheticVideo;

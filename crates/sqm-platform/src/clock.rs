@@ -1,0 +1,166 @@
+//! Clocks.
+//!
+//! [`VirtualClock`] is the platform's time line: a monotone nanosecond
+//! accumulator the controller and workloads advance explicitly, which makes
+//! every experiment deterministic and seedable. [`RtClock`] models the
+//! *observable* real-time clock the Quality Manager reads: real hardware
+//! clocks cost cycles to read and tick at a finite resolution, and the
+//! paper singles out "platforms providing access to accurate real-time
+//! clocks at low overhead" as the enabler of the whole technique. The
+//! quantization and read-cost knobs let the benches quantify that claim.
+
+use sqm_core::time::Time;
+
+/// A monotone virtual time accumulator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now: Time,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Advance by a non-negative duration.
+    ///
+    /// # Panics
+    /// If `d` is negative (time is monotone).
+    pub fn advance(&mut self, d: Time) {
+        assert!(d >= Time::ZERO, "virtual time is monotone");
+        self.now += d;
+    }
+
+    /// Reset to zero (new experiment).
+    pub fn reset(&mut self) {
+        self.now = Time::ZERO;
+    }
+}
+
+/// A real-time-clock *model*: what the Quality Manager sees when it reads
+/// the platform clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RtClock {
+    /// Clock resolution: readings are truncated to a multiple of this.
+    pub quantum: Time,
+    /// Time consumed by one read (charged to the virtual clock).
+    pub read_cost: Time,
+}
+
+impl RtClock {
+    /// An ideal clock: nanosecond resolution, free reads.
+    pub const IDEAL: RtClock = RtClock {
+        quantum: Time::from_ns(1),
+        read_cost: Time::ZERO,
+    };
+
+    /// A clock with the given resolution and per-read cost.
+    pub fn new(quantum: Time, read_cost: Time) -> RtClock {
+        assert!(quantum > Time::ZERO, "quantum must be positive");
+        assert!(read_cost >= Time::ZERO);
+        RtClock { quantum, read_cost }
+    }
+
+    /// Read the clock: advances `clock` by the read cost and returns the
+    /// *quantized* time as observed by software (rounded up — see
+    /// [`RtClock::quantize_up`]).
+    pub fn read(&self, clock: &mut VirtualClock) -> Time {
+        clock.advance(self.read_cost);
+        self.quantize_up(clock.now())
+    }
+
+    /// Truncate a time to the clock's resolution toward −∞ — what a raw
+    /// hardware counter reports. **Optimistic** for the manager's
+    /// `tD(s, q) ≥ t` check: the observed time under-states the true time,
+    /// over-stating the remaining slack. Only safe when the worst-case
+    /// estimates were inflated by at least one quantum.
+    pub fn quantize_down(&self, t: Time) -> Time {
+        let q = self.quantum.as_ns();
+        Time::from_ns(t.as_ns().div_euclid(q) * q)
+    }
+
+    /// Round a time up to the clock's resolution — the **conservative**
+    /// observation for quality management: the manager never believes it is
+    /// earlier than it actually is, so a quantized reading can lower
+    /// quality but never admit an unsafe one.
+    pub fn quantize_up(&self, t: Time) -> Time {
+        let q = self.quantum.as_ns();
+        Time::from_ns(
+            t.as_ns().div_euclid(q) * q + if t.as_ns().rem_euclid(q) == 0 { 0 } else { q },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances_monotonically() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), Time::ZERO);
+        c.advance(Time::from_ns(5));
+        c.advance(Time::ZERO);
+        assert_eq!(c.now(), Time::from_ns(5));
+        c.reset();
+        assert_eq!(c.now(), Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn negative_advance_panics() {
+        VirtualClock::new().advance(Time::from_ns(-1));
+    }
+
+    #[test]
+    fn quantize_down_truncates_toward_minus_infinity() {
+        let rt = RtClock::new(Time::from_ns(10), Time::ZERO);
+        assert_eq!(rt.quantize_down(Time::from_ns(99)), Time::from_ns(90));
+        assert_eq!(rt.quantize_down(Time::from_ns(100)), Time::from_ns(100));
+        assert_eq!(rt.quantize_down(Time::from_ns(-1)), Time::from_ns(-10));
+    }
+
+    #[test]
+    fn quantize_up_rounds_toward_plus_infinity() {
+        let rt = RtClock::new(Time::from_ns(10), Time::ZERO);
+        assert_eq!(rt.quantize_up(Time::from_ns(91)), Time::from_ns(100));
+        assert_eq!(rt.quantize_up(Time::from_ns(100)), Time::from_ns(100));
+        assert_eq!(rt.quantize_up(Time::from_ns(-1)), Time::from_ns(0));
+        assert_eq!(rt.quantize_up(Time::from_ns(-10)), Time::from_ns(-10));
+        // Conservativity: up-quantized time never precedes the true time.
+        for ns in -25..25 {
+            let t = Time::from_ns(ns);
+            assert!(rt.quantize_up(t) >= t);
+            assert!(rt.quantize_down(t) <= t);
+        }
+    }
+
+    #[test]
+    fn read_charges_cost_and_quantizes() {
+        let rt = RtClock::new(Time::from_ns(100), Time::from_ns(7));
+        let mut c = VirtualClock::new();
+        c.advance(Time::from_ns(150));
+        let observed = rt.read(&mut c);
+        assert_eq!(c.now(), Time::from_ns(157), "read cost charged");
+        assert_eq!(
+            observed,
+            Time::from_ns(200),
+            "reading rounds up conservatively"
+        );
+    }
+
+    #[test]
+    fn ideal_clock_is_transparent() {
+        let mut c = VirtualClock::new();
+        c.advance(Time::from_ns(1234));
+        assert_eq!(RtClock::IDEAL.read(&mut c), Time::from_ns(1234));
+        assert_eq!(c.now(), Time::from_ns(1234));
+    }
+}

@@ -1,0 +1,218 @@
+//! Data-dependent load models.
+//!
+//! "Execution times for actions may considerably vary over time as they
+//! depend on the contents of data" (§2.1). A [`LoadModel`] captures that
+//! content dependence as a multiplicative factor around the average
+//! behaviour: `1.0` means exactly average, `> 1` a hard scene, `< 1` an
+//! easy one. Execution-time sources ([`crate::exec`]) combine a load model
+//! with per-sample jitter and clamp into `[0, Cwc]`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic per-(cycle, action) load factor.
+pub trait LoadModel {
+    /// Load factor for `action` in `cycle`; must be non-negative.
+    fn factor(&self, cycle: usize, action: usize) -> f64;
+}
+
+/// Uniform load.
+#[derive(Clone, Copy, Debug)]
+pub struct ConstantLoad(pub f64);
+
+impl LoadModel for ConstantLoad {
+    fn factor(&self, _cycle: usize, _action: usize) -> f64 {
+        self.0
+    }
+}
+
+/// Smooth periodic load, e.g. a camera pan sweeping texture across the
+/// frame: `1 + amplitude · sin(2π · (action + cycle·phase_per_cycle) /
+/// period)`.
+#[derive(Clone, Copy, Debug)]
+pub struct SineLoad {
+    /// Period in actions.
+    pub period: usize,
+    /// Peak deviation from 1.0 (must be `< 1` to keep factors positive).
+    pub amplitude: f64,
+    /// Phase shift per cycle, in actions.
+    pub phase_per_cycle: usize,
+}
+
+impl LoadModel for SineLoad {
+    fn factor(&self, cycle: usize, action: usize) -> f64 {
+        let pos = (action + cycle * self.phase_per_cycle) % self.period.max(1);
+        let phase = pos as f64 / self.period.max(1) as f64;
+        1.0 + self.amplitude * (2.0 * std::f64::consts::PI * phase).sin()
+    }
+}
+
+/// Piecewise load bursts — the mid-frame complexity spike that drives the
+/// paper's Fig. 8 (relaxation step collapsing from 40 to 1 and recovering
+/// to 10).
+#[derive(Clone, Debug, Default)]
+pub struct BurstLoad {
+    /// Baseline factor outside every burst.
+    pub base: f64,
+    /// `(first_action, last_action, factor)` triples, in cycle-local action
+    /// indices; later entries win on overlap.
+    pub bursts: Vec<(usize, usize, f64)>,
+}
+
+impl BurstLoad {
+    /// A baseline-1.0 burst model.
+    pub fn new(bursts: Vec<(usize, usize, f64)>) -> BurstLoad {
+        BurstLoad { base: 1.0, bursts }
+    }
+}
+
+impl LoadModel for BurstLoad {
+    fn factor(&self, _cycle: usize, action: usize) -> f64 {
+        self.bursts
+            .iter()
+            .rev()
+            .find(|&&(lo, hi, _)| (lo..=hi).contains(&action))
+            .map_or(self.base, |&(_, _, f)| f)
+    }
+}
+
+/// Seeded bounded random walk across cycles: each cycle's load drifts from
+/// the previous one, like consecutive video frames do. Deterministic in
+/// `(seed, cycle, action)`.
+#[derive(Clone, Debug)]
+pub struct RandomWalkLoad {
+    seed: u64,
+    step: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RandomWalkLoad {
+    /// A walk with the given seed, per-cycle step size and clamp range.
+    pub fn new(seed: u64, step: f64, min: f64, max: f64) -> RandomWalkLoad {
+        assert!(min > 0.0 && min <= max);
+        RandomWalkLoad {
+            seed,
+            step,
+            min,
+            max,
+        }
+    }
+
+    fn cycle_level(&self, cycle: usize) -> f64 {
+        // Replay the walk from the origin — cycles are small counts in
+        // practice and this keeps the model stateless and random-access.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut level = 1.0f64;
+        for _ in 0..=cycle {
+            level += rng.gen_range(-self.step..=self.step);
+            level = level.clamp(self.min, self.max);
+        }
+        level
+    }
+}
+
+impl LoadModel for RandomWalkLoad {
+    fn factor(&self, cycle: usize, action: usize) -> f64 {
+        // Small deterministic per-action ripple on top of the cycle level.
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ (cycle as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (action as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+        );
+        let ripple = rng.gen_range(-0.05..=0.05);
+        (self.cycle_level(cycle) + ripple).clamp(self.min, self.max)
+    }
+}
+
+/// Product of several load models (e.g. scene drift × mid-frame burst).
+pub struct CompositeLoad {
+    parts: Vec<Box<dyn LoadModel + Send + Sync>>,
+}
+
+impl CompositeLoad {
+    /// Compose the given models multiplicatively.
+    pub fn new(parts: Vec<Box<dyn LoadModel + Send + Sync>>) -> CompositeLoad {
+        CompositeLoad { parts }
+    }
+}
+
+impl LoadModel for CompositeLoad {
+    fn factor(&self, cycle: usize, action: usize) -> f64 {
+        self.parts.iter().map(|p| p.factor(cycle, action)).product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_load() {
+        let l = ConstantLoad(1.5);
+        assert_eq!(l.factor(0, 0), 1.5);
+        assert_eq!(l.factor(9, 99), 1.5);
+    }
+
+    #[test]
+    fn sine_load_oscillates_around_one() {
+        let l = SineLoad {
+            period: 100,
+            amplitude: 0.4,
+            phase_per_cycle: 0,
+        };
+        let values: Vec<f64> = (0..100).map(|a| l.factor(0, a)).collect();
+        let mean = values.iter().sum::<f64>() / 100.0;
+        assert!((mean - 1.0).abs() < 1e-6, "mean {mean}");
+        assert!(values.iter().cloned().fold(f64::MIN, f64::max) > 1.3);
+        assert!(values.iter().cloned().fold(f64::MAX, f64::min) < 0.7);
+        assert!(values.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn sine_load_phase_shifts_across_cycles() {
+        let l = SineLoad {
+            period: 100,
+            amplitude: 0.4,
+            phase_per_cycle: 25,
+        };
+        assert_ne!(l.factor(0, 10), l.factor(1, 10));
+        assert_eq!(l.factor(0, 35), l.factor(1, 10), "shift by 25 actions");
+    }
+
+    #[test]
+    fn burst_load_applies_inside_ranges() {
+        let l = BurstLoad::new(vec![(10, 19, 2.0), (15, 15, 3.0)]);
+        assert_eq!(l.factor(0, 5), 1.0);
+        assert_eq!(l.factor(0, 10), 2.0);
+        assert_eq!(l.factor(0, 19), 2.0);
+        assert_eq!(l.factor(0, 15), 3.0, "later entries win on overlap");
+        assert_eq!(l.factor(0, 20), 1.0);
+    }
+
+    #[test]
+    fn random_walk_is_deterministic_and_bounded() {
+        let l = RandomWalkLoad::new(42, 0.2, 0.5, 2.0);
+        for cycle in 0..20 {
+            for action in [0usize, 7, 500] {
+                let a = l.factor(cycle, action);
+                let b = l.factor(cycle, action);
+                assert_eq!(a, b, "deterministic");
+                assert!((0.45..=2.05).contains(&a), "bounded with ripple: {a}");
+            }
+        }
+        let other = RandomWalkLoad::new(43, 0.2, 0.5, 2.0);
+        assert_ne!(l.factor(3, 3), other.factor(3, 3), "seed matters");
+    }
+
+    #[test]
+    fn composite_multiplies() {
+        let c = CompositeLoad::new(vec![
+            Box::new(ConstantLoad(2.0)),
+            Box::new(ConstantLoad(0.5)),
+            Box::new(BurstLoad::new(vec![(0, 0, 3.0)])),
+        ]);
+        assert_eq!(c.factor(0, 0), 3.0);
+        assert_eq!(c.factor(0, 1), 1.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Timing-table estimation by profiling.
+//!
+//! "For the iPod, we estimated worst-case and average execution times by
+//! profiling" (§4.1). The profiler plays the same role here: it samples an
+//! [`ExecutionTimeSource`] for every `(action, quality)` pair over a number
+//! of cycles and produces a validated [`TimeTable`]:
+//!
+//! * `Cav` = sample mean (rounded);
+//! * `Cwc` = sample maximum inflated by a safety margin — profiling only
+//!   ever observes a *subset* of behaviours, so a raw max is not a sound
+//!   worst case; the margin is the engineering knob trading utilization
+//!   against contract violations.
+//!
+//! Monotonicity in quality (required by Definition 1) is enforced by a
+//! running maximum across levels, which also smooths sampling noise.
+
+use sqm_core::controller::ExecutionTimeSource;
+use sqm_core::error::BuildError;
+use sqm_core::quality::QualitySet;
+use sqm_core::time::Time;
+use sqm_core::timing::TimeTable;
+
+/// Profiling parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ProfileConfig {
+    /// Sampled cycles per `(action, quality)` pair.
+    pub samples: usize,
+    /// Worst-case inflation in permille over the observed maximum
+    /// (e.g. `200` = +20 %).
+    pub wc_margin_permille: i64,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> ProfileConfig {
+        ProfileConfig {
+            samples: 64,
+            wc_margin_permille: 200,
+        }
+    }
+}
+
+/// Estimates timing tables from observed executions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Profiler {
+    config: ProfileConfig,
+}
+
+impl Profiler {
+    /// A profiler with the given configuration.
+    pub fn new(config: ProfileConfig) -> Profiler {
+        Profiler { config }
+    }
+
+    /// Profile `n_actions` actions over `qualities`, sampling `source`.
+    /// The source sees cycles `0..samples`.
+    pub fn profile<E: ExecutionTimeSource>(
+        &self,
+        n_actions: usize,
+        qualities: QualitySet,
+        source: &mut E,
+    ) -> Result<TimeTable, BuildError> {
+        let nq = qualities.len();
+        let samples = self.config.samples.max(1);
+        let mut av = vec![Time::ZERO; n_actions * nq];
+        let mut wc = vec![Time::ZERO; n_actions * nq];
+        for a in 0..n_actions {
+            let mut prev_av = Time::ZERO;
+            let mut prev_wc = Time::ZERO;
+            for q in qualities.iter() {
+                let mut sum = 0i64;
+                let mut max = Time::ZERO;
+                for cycle in 0..samples {
+                    let c = source.actual(cycle, a, q);
+                    sum += c.as_ns();
+                    max = max.max(c);
+                }
+                let mean = Time::from_ns((sum as f64 / samples as f64).round() as i64);
+                let inflated = Time::from_ns(
+                    max.as_ns() + (max.as_ns() * self.config.wc_margin_permille + 999) / 1000,
+                );
+                // Enforce monotonicity in q and Cav ≤ Cwc.
+                let av_q = mean.max(prev_av);
+                let wc_q = inflated.max(prev_wc).max(av_q);
+                av[a * nq + q.index()] = av_q;
+                wc[a * nq + q.index()] = wc_q;
+                prev_av = av_q;
+                prev_wc = wc_q;
+            }
+        }
+        TimeTable::new(qualities, n_actions, wc, av)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::StochasticExec;
+    use crate::load::ConstantLoad;
+    use sqm_core::controller::FnExec;
+    use sqm_core::quality::Quality;
+
+    #[test]
+    fn profiles_deterministic_source_exactly() {
+        let qualities = QualitySet::new(3).unwrap();
+        let mut src =
+            FnExec(|_c, a, q: Quality| Time::from_ns(100 * (a as i64 + 1) + 50 * q.index() as i64));
+        let table = Profiler::new(ProfileConfig {
+            samples: 4,
+            wc_margin_permille: 0,
+        })
+        .profile(2, qualities, &mut src)
+        .unwrap();
+        assert_eq!(table.av(0, Quality::new(0)), Time::from_ns(100));
+        assert_eq!(table.av(1, Quality::new(2)), Time::from_ns(300));
+        assert_eq!(
+            table.wc(1, Quality::new(2)),
+            Time::from_ns(300),
+            "no margin"
+        );
+    }
+
+    #[test]
+    fn margin_inflates_worst_case() {
+        let qualities = QualitySet::new(1).unwrap();
+        let mut src = FnExec(|_c, _a, _q| Time::from_ns(1_000));
+        let table = Profiler::new(ProfileConfig {
+            samples: 2,
+            wc_margin_permille: 200,
+        })
+        .profile(1, qualities, &mut src)
+        .unwrap();
+        assert_eq!(table.wc(0, Quality::new(0)), Time::from_ns(1_200));
+        assert_eq!(table.av(0, Quality::new(0)), Time::from_ns(1_000));
+    }
+
+    #[test]
+    fn non_monotone_source_is_repaired() {
+        // A source whose observed means *decrease* with quality (sampling
+        // artifact); the profile must still satisfy Definition 1.
+        let qualities = QualitySet::new(3).unwrap();
+        let mut src = FnExec(|_c, _a, q: Quality| Time::from_ns(300 - 100 * q.index() as i64));
+        let table = Profiler::default().profile(1, qualities, &mut src).unwrap();
+        for qi in 1..3 {
+            assert!(table.av(0, Quality::new(qi)) >= table.av(0, Quality::new(qi - 1)));
+            assert!(table.wc(0, Quality::new(qi)) >= table.wc(0, Quality::new(qi - 1)));
+        }
+    }
+
+    #[test]
+    fn profiled_stochastic_table_bounds_future_samples() {
+        // Profile a stochastic source, then check that fresh samples stay
+        // under the inflated worst case with comfortable probability.
+        let qualities = QualitySet::new(2).unwrap();
+        let truth = TimeTable::from_ns_rows(
+            qualities,
+            &[&[2_000, 3_000], &[1_500, 2_500]],
+            &[&[1_000, 1_800], &[700, 1_300]],
+        )
+        .unwrap();
+        let mut profile_src = StochasticExec::new(&truth, ConstantLoad(1.0), 0.25, 11);
+        let est = Profiler::new(ProfileConfig {
+            samples: 200,
+            wc_margin_permille: 150,
+        })
+        .profile(2, qualities, &mut profile_src)
+        .unwrap();
+        let mut fresh = StochasticExec::new(&truth, ConstantLoad(1.0), 0.25, 99);
+        let mut violations = 0;
+        let mut total = 0;
+        for cycle in 0..500 {
+            for a in 0..2 {
+                for q in qualities.iter() {
+                    total += 1;
+                    if fresh.actual(cycle, a, q) > est.wc(a, q) {
+                        violations += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            violations, 0,
+            "{violations}/{total} samples exceeded the estimate"
+        );
+    }
+
+    #[test]
+    fn estimated_average_is_close_to_truth() {
+        let qualities = QualitySet::new(1).unwrap();
+        let truth = TimeTable::from_ns_rows(qualities, &[&[2_000]], &[&[1_000]]).unwrap();
+        let mut src = StochasticExec::new(&truth, ConstantLoad(1.0), 0.2, 5);
+        let est = Profiler::new(ProfileConfig {
+            samples: 500,
+            wc_margin_permille: 100,
+        })
+        .profile(1, qualities, &mut src)
+        .unwrap();
+        let av = est.av(0, Quality::new(0)).as_ns();
+        assert!((av - 1_000).abs() < 50, "estimated mean {av}");
+    }
+}

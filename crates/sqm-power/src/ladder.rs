@@ -1,0 +1,131 @@
+//! Frequency ladders: the quality-level ↔ CPU-frequency mapping.
+
+use sqm_core::quality::{Quality, QualitySet};
+use sqm_core::time::Time;
+
+/// A set of discrete CPU frequencies (in MHz), mapped onto quality levels
+/// in reverse: quality `0` = fastest frequency, `qmax` = slowest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrequencyLadder {
+    /// Frequencies in MHz, strictly descending (index = quality level).
+    freqs_mhz: Vec<u32>,
+}
+
+impl FrequencyLadder {
+    /// A ladder from frequencies in MHz, in any order; duplicates are
+    /// removed. Returns `None` if fewer than one distinct frequency
+    /// remains or any frequency is zero.
+    pub fn new(mut freqs_mhz: Vec<u32>) -> Option<FrequencyLadder> {
+        if freqs_mhz.contains(&0) {
+            return None;
+        }
+        freqs_mhz.sort_unstable_by(|a, b| b.cmp(a));
+        freqs_mhz.dedup();
+        if freqs_mhz.is_empty() {
+            return None;
+        }
+        Some(FrequencyLadder { freqs_mhz })
+    }
+
+    /// A typical embedded ladder: 600 / 450 / 300 / 150 MHz.
+    pub fn embedded4() -> FrequencyLadder {
+        FrequencyLadder::new(vec![600, 450, 300, 150]).expect("static ladder is valid")
+    }
+
+    /// Number of steps = number of quality levels.
+    pub fn len(&self) -> usize {
+        self.freqs_mhz.len()
+    }
+
+    /// Ladders are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The matching quality set.
+    pub fn qualities(&self) -> QualitySet {
+        QualitySet::new(self.freqs_mhz.len()).expect("1..=255 steps")
+    }
+
+    /// Frequency (MHz) of a quality level: level 0 is the fastest.
+    pub fn freq_mhz(&self, q: Quality) -> u32 {
+        self.freqs_mhz[q.index()]
+    }
+
+    /// The fastest frequency (MHz) — the safety fallback.
+    pub fn f_max(&self) -> u32 {
+        self.freqs_mhz[0]
+    }
+
+    /// Execution time of `cycles` clock cycles at the frequency of quality
+    /// `q`: `cycles / f`, in nanoseconds (rounded up — conservative for
+    /// worst cases).
+    pub fn time_for_cycles(&self, cycles: u64, q: Quality) -> Time {
+        let f = self.freq_mhz(q) as u64;
+        // cycles / (f MHz) = cycles * 1000 / f ns.
+        Time::from_ns(((cycles * 1_000).div_ceil(f)) as i64)
+    }
+
+    /// Cycles executed in `t` at quality `q`'s frequency (rounded down).
+    pub fn cycles_in(&self, t: Time, q: Quality) -> u64 {
+        let f = self.freq_mhz(q) as i64;
+        (t.as_ns().max(0) * f / 1_000) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_sorts_descending_and_dedups() {
+        let l = FrequencyLadder::new(vec![300, 600, 450, 600]).unwrap();
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.f_max(), 600);
+        assert_eq!(l.freq_mhz(Quality::new(0)), 600);
+        assert_eq!(l.freq_mhz(Quality::new(2)), 300);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn rejects_zero_and_empty() {
+        assert!(FrequencyLadder::new(vec![]).is_none());
+        assert!(FrequencyLadder::new(vec![100, 0]).is_none());
+    }
+
+    #[test]
+    fn time_is_monotone_in_quality() {
+        let l = FrequencyLadder::embedded4();
+        let cycles = 3_000_000;
+        let mut prev = Time::ZERO;
+        for q in l.qualities().iter() {
+            let t = l.time_for_cycles(cycles, q);
+            assert!(t >= prev, "slower frequency, longer time");
+            prev = t;
+        }
+        // 3 Mcycles at 600 MHz = 5 ms; at 150 MHz = 20 ms.
+        assert_eq!(l.time_for_cycles(cycles, Quality::new(0)), Time::from_ms(5));
+        assert_eq!(
+            l.time_for_cycles(cycles, Quality::new(3)),
+            Time::from_ms(20)
+        );
+    }
+
+    #[test]
+    fn time_rounds_up_conservatively() {
+        let l = FrequencyLadder::new(vec![3]).unwrap(); // 3 MHz
+                                                        // 10 cycles at 3 MHz = 3333.33 ns → 3334.
+        assert_eq!(l.time_for_cycles(10, Quality::new(0)), Time::from_ns(3_334));
+    }
+
+    #[test]
+    fn cycles_in_inverts_time_for_cycles_within_rounding() {
+        let l = FrequencyLadder::embedded4();
+        for q in l.qualities().iter() {
+            let cycles = 1_234_567;
+            let t = l.time_for_cycles(cycles, q);
+            let back = l.cycles_in(t, q);
+            assert!(back >= cycles && back <= cycles + l.freq_mhz(q) as u64);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # sqm-power — DVFS power management on speed diagrams
+//!
+//! The paper's conclusion sketches "possible applications of the technique
+//! to power management where quality level is replaced by frequency and the
+//! objective is to minimize energy consumption without missing the
+//! deadlines". This crate realizes that extension on top of `sqm-core`,
+//! unchanged:
+//!
+//! * actions are characterized by **cycle counts** (worst-case and
+//!   average), the frequency-independent measure of their work;
+//! * a [`FrequencyLadder`] maps quality levels to CPU frequencies in
+//!   *descending* order — quality 0 is the fastest frequency (always safe,
+//!   most energy), `qmax` the slowest (most energy-efficient). Execution
+//!   *time* is then non-decreasing in the quality level exactly as
+//!   Definition 1 requires, so every policy, region table and relaxation
+//!   result of the core library applies verbatim;
+//! * the Quality Manager's "maximize quality" objective becomes "pick the
+//!   lowest frequency that still meets every deadline" — which under the
+//!   convex frequency/power law is the energy-minimizing choice;
+//! * an [`EnergyModel`] (dynamic energy ∝ f² per cycle, plus idle power)
+//!   scores executed traces, so benches can quantify savings against the
+//!   run-at-max-frequency baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod ladder;
+pub mod workload;
+
+pub use energy::EnergyModel;
+pub use ladder::FrequencyLadder;
+pub use workload::{CycleExec, DvfsTask};

@@ -1,0 +1,45 @@
+//! # speed-qm — Symbolic Quality Management with Speed Diagrams
+//!
+//! A full Rust reproduction of *"Using Speed Diagrams for Symbolic Quality
+//! Management"* (Combaz, Fernandez, Sifakis, Strus — IPPS 2007).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] — the paper's contribution: parameterized systems, the mixed
+//!   quality-management policy, speed diagrams, quality regions, control
+//!   relaxation regions, and the numeric / lookup / relaxed quality managers.
+//! * [`platform`] — a virtual execution platform (virtual clock, stochastic
+//!   execution-time models bounded by `Cwc`, profiler).
+//! * [`mpeg`] — the MPEG-like encoder workload of the paper's evaluation
+//!   (1,189 actions per frame, 7 quality levels).
+//! * [`power`] — the DVFS extension sketched in the paper's conclusion
+//!   (quality level ↦ CPU frequency, energy minimization without misses).
+//! * [`audio`] — a second application domain: an adaptive transform audio
+//!   codec (FFT, subbands, psychoacoustic bit allocation).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use speed_qm::core::prelude::*;
+//!
+//! // Three actions, two quality levels; worst-case and average times in ns.
+//! let system = SystemBuilder::new(2)
+//!     .action("decode", &[100, 200], &[60, 120])
+//!     .action("transform", &[150, 300], &[90, 180])
+//!     .action("render", &[100, 200], &[60, 120])
+//!     .deadline_last(Time::from_ns(700))
+//!     .build()
+//!     .unwrap();
+//!
+//! let policy = MixedPolicy::new(&system);
+//! let mut qm = NumericManager::new(&system, &policy);
+//! let d = qm.decide(0, Time::ZERO);
+//! assert!(d.quality.index() <= 1);
+//! ```
+#![forbid(unsafe_code)]
+
+pub use sqm_audio as audio;
+pub use sqm_core as core;
+pub use sqm_mpeg as mpeg;
+pub use sqm_platform as platform;
+pub use sqm_power as power;

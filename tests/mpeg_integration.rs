@@ -1,0 +1,169 @@
+//! Paper-scale integration: the full §4 pipeline — synthetic encoder →
+//! profiling → offline compilation → controlled execution — across crates.
+
+use speed_qm::core::compiler::{compile_regions, compile_relaxation, TableStats};
+use speed_qm::core::controller::CyclicRunner;
+use speed_qm::core::manager::{LookupManager, NumericManager, RelaxedManager};
+use speed_qm::core::policy::MixedPolicy;
+use speed_qm::core::relaxation::StepSet;
+use speed_qm::core::system::ParameterizedSystem;
+use speed_qm::core::time::Time;
+use speed_qm::mpeg::{metrics, EncoderConfig, MpegEncoder};
+use speed_qm::platform::overhead;
+use speed_qm::platform::{ProfileConfig, Profiler};
+
+#[test]
+fn paper_table_sizes_are_exact() {
+    let enc = MpegEncoder::new(EncoderConfig::paper(1)).unwrap();
+    let regions = compile_regions(enc.system());
+    let relaxation = compile_relaxation(enc.system(), &regions, StepSet::paper_mpeg());
+    assert_eq!(TableStats::of_regions(&regions).integers, 8_323);
+    assert_eq!(TableStats::of_relaxation(&relaxation).integers, 99_876);
+}
+
+#[test]
+fn three_managers_reproduce_section_4_2_ordering() {
+    let enc = MpegEncoder::new(EncoderConfig::paper(5)).unwrap();
+    let sys = enc.system();
+    let period = enc.config().frame_period;
+    let policy = MixedPolicy::new(sys);
+    let regions = compile_regions(sys);
+    let relaxation = compile_relaxation(sys, &regions, StepSet::paper_mpeg());
+
+    let numeric = {
+        let mut exec = enc.exec(0.12, 3);
+        CyclicRunner::new(
+            sys,
+            NumericManager::new(sys, &policy),
+            overhead::numeric(),
+            period,
+        )
+        .run(3, &mut exec)
+    };
+    let lookup = {
+        let mut exec = enc.exec(0.12, 3);
+        CyclicRunner::new(
+            sys,
+            LookupManager::new(&regions),
+            overhead::regions(),
+            period,
+        )
+        .run(3, &mut exec)
+    };
+    let relaxed = {
+        let mut exec = enc.exec(0.12, 3);
+        CyclicRunner::new(
+            sys,
+            RelaxedManager::new(&regions, &relaxation),
+            overhead::relaxation(),
+            period,
+        )
+        .run(3, &mut exec)
+    };
+
+    // Safety everywhere.
+    assert_eq!(numeric.total_misses(), 0);
+    assert_eq!(lookup.total_misses(), 0);
+    assert_eq!(relaxed.total_misses(), 0);
+
+    // §4.2 overhead ordering, with the paper's rough magnitudes.
+    let n = numeric.overhead_ratio() * 100.0;
+    let l = lookup.overhead_ratio() * 100.0;
+    let r = relaxed.overhead_ratio() * 100.0;
+    assert!((3.0..12.0).contains(&n), "numeric ≈ 5.7 %, got {n:.2}");
+    assert!((1.0..3.5).contains(&l), "regions ≈ 1.9 %, got {l:.2}");
+    assert!(r < l, "relaxation {r:.2} < regions {l:.2}");
+
+    // Fig. 7 ordering: symbolic at least matches numeric quality.
+    assert!(lookup.avg_quality() >= numeric.avg_quality());
+    assert!(relaxed.avg_quality() >= numeric.avg_quality());
+
+    // Video quality follows the same ordering (within a small epsilon, as
+    // PSNR saturates).
+    let psnr = |t: &speed_qm::core::trace::Trace| {
+        let s = metrics::video_quality_series(&enc, t);
+        s.iter().sum::<f64>() / s.len() as f64
+    };
+    assert!(psnr(&relaxed) >= psnr(&numeric) - 0.05);
+}
+
+#[test]
+fn profiled_tables_control_the_encoder_safely() {
+    // Estimate Cav/Cwc by profiling the encoder's execution source (the
+    // paper's §4.1 methodology), rebuild a system from the estimates, and
+    // verify the controlled run holds its deadlines.
+    let enc = MpegEncoder::new(EncoderConfig::tiny(9)).unwrap();
+    let sys = enc.system();
+    let mut profiling_exec = enc.exec(0.15, 77);
+    let estimated = Profiler::new(ProfileConfig {
+        samples: 48,
+        wc_margin_permille: 400,
+    })
+    .profile(sys.n_actions(), sys.qualities(), &mut profiling_exec)
+    .unwrap();
+    let est_sys =
+        ParameterizedSystem::new(sys.actions().to_vec(), estimated, sys.deadlines().clone())
+            .expect("estimated tables remain feasible");
+
+    let policy = MixedPolicy::new(&est_sys);
+    let mut runner = CyclicRunner::new(
+        &est_sys,
+        NumericManager::new(&est_sys, &policy),
+        overhead::numeric(),
+        enc.config().frame_period,
+    );
+    // Fresh content seed — the estimates must generalize.
+    let mut exec = enc.exec(0.15, 1234);
+    let trace = runner.run(6, &mut exec);
+    assert_eq!(
+        trace.total_misses(),
+        0,
+        "profiled tables must keep the run safe"
+    );
+    assert!(trace.avg_quality() > 0.0);
+}
+
+#[test]
+fn arrival_clamped_mode_also_safe() {
+    let enc = MpegEncoder::new(EncoderConfig::tiny(4)).unwrap();
+    let sys = enc.system();
+    let policy = MixedPolicy::new(sys);
+    let mut runner = CyclicRunner::new(
+        sys,
+        NumericManager::new(sys, &policy),
+        overhead::numeric(),
+        enc.config().frame_period,
+    )
+    .with_arrival_clamping();
+    let mut exec = enc.exec(0.15, 8);
+    let trace = runner.run(6, &mut exec);
+    assert_eq!(trace.total_misses(), 0);
+    for c in &trace.cycles {
+        assert!(
+            c.start >= Time::ZERO,
+            "live-capture cycles never start early"
+        );
+    }
+}
+
+#[test]
+fn relaxation_reduces_calls_at_paper_scale() {
+    let enc = MpegEncoder::new(EncoderConfig::paper(5)).unwrap();
+    let sys = enc.system();
+    let regions = compile_regions(sys);
+    let relaxation = compile_relaxation(sys, &regions, StepSet::paper_mpeg());
+    let mut exec = enc.exec(0.12, 3);
+    let trace = CyclicRunner::new(
+        sys,
+        RelaxedManager::new(&regions, &relaxation),
+        overhead::relaxation(),
+        enc.config().frame_period,
+    )
+    .run(2, &mut exec);
+    let actions = trace.total_actions();
+    let calls = trace.total_qm_calls();
+    assert!(
+        calls * 3 < actions * 2,
+        "relaxation should skip a third of calls or more: {calls}/{actions}"
+    );
+}

@@ -1,0 +1,179 @@
+//! The paper's three propositions, property-tested against brute-force
+//! evaluations of their definitions.
+
+mod common;
+
+use common::arb_system;
+use proptest::prelude::*;
+use speed_qm::core::prelude::*;
+use speed_qm::core::speed::SpeedDiagram;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `tD` is non-increasing in the quality level — the fact that makes
+    /// quality regions intervals.
+    #[test]
+    fn t_d_non_increasing_in_quality(arb in arb_system()) {
+        let sys = &arb.system;
+        for (name, policy) in [
+            ("mixed", &MixedPolicy::new(sys) as &dyn Policy),
+            ("safe", &SafePolicy::new(sys)),
+            ("average", &AveragePolicy::new(sys)),
+        ] {
+            for state in 0..sys.n_actions() {
+                let mut prev = Time::INF;
+                for q in sys.qualities().iter() {
+                    let td = policy.t_d(state, q);
+                    prop_assert!(td <= prev, "{name} tD increasing at state {state} {q}");
+                    prev = td;
+                }
+            }
+        }
+    }
+
+    /// The mixed policy's O(1) lookup, online scan, and naive O(n²)
+    /// definitions coincide everywhere.
+    #[test]
+    fn mixed_evaluations_coincide(arb in arb_system()) {
+        let sys = &arb.system;
+        let policy = MixedPolicy::new(sys);
+        for state in 0..=sys.n_actions() {
+            for q in sys.qualities().iter() {
+                let fast = policy.t_d(state, q);
+                prop_assert_eq!(fast, policy.t_d_naive(state, q));
+                prop_assert_eq!(fast, policy.t_d_scan(state, q).0);
+            }
+        }
+    }
+
+    /// Proposition 1: with a single final deadline, the speed-domain
+    /// characterization (`vidl ≥ vopt`) agrees with the time-domain one
+    /// (`D − CD ≥ t`) away from the exact boundary.
+    #[test]
+    fn proposition_1(arb in arb_system(), t_frac in 0.0f64..1.5) {
+        let sys = &arb.system;
+        // Only meaningful for the final-deadline diagram.
+        let policy = MixedPolicy::new(sys);
+        let diagram = SpeedDiagram::for_final_deadline(&policy);
+        let t = Time::from_ns((sys.final_deadline().as_ns() as f64 * t_frac) as i64);
+        for state in 0..sys.n_actions() {
+            let time_domain = diagram.policy_accepts(state, t, sys.qualities().min());
+            let speed_domain = diagram.ideal_dominates_optimal(state, t, sys.qualities().min());
+            let boundary = diagram.deadline()
+                - policy.c_d(state, diagram.target(), sys.qualities().min());
+            if (boundary - t).as_ns().abs() > 1 {
+                prop_assert_eq!(time_domain, speed_domain, "state {}", state);
+            }
+        }
+    }
+
+    /// Proposition 2: region membership via stored bounds equals the
+    /// manager's definition `Γ(s, t) = q`.
+    #[test]
+    fn proposition_2(arb in arb_system(), probes in proptest::collection::vec(-200i64..1500, 12)) {
+        let sys = &arb.system;
+        let policy = MixedPolicy::new(sys);
+        let regions = compile_regions(sys);
+        for state in 0..sys.n_actions() {
+            for &t_ns in &probes {
+                let t = Time::from_ns(t_ns);
+                let gamma = choose_quality(&policy, sys.qualities().len(), state, t);
+                for q in sys.qualities().iter() {
+                    prop_assert_eq!(
+                        regions.contains(state, t, q),
+                        gamma == Some(q),
+                        "Prop 2 at state {} {} t {}", state, q, t
+                    );
+                }
+            }
+        }
+    }
+
+    /// Proposition 3, soundness direction: from inside `Rrq`, whatever the
+    /// next `r − 1` actual times (we test the extreme cone rays: all-zero
+    /// and all-worst-case, plus a mixed ray), the manager keeps choosing
+    /// `q` for all `r` actions.
+    #[test]
+    fn proposition_3_soundness(arb in arb_system(), ray in 0usize..3) {
+        let sys = &arb.system;
+        let n = sys.n_actions();
+        let policy = MixedPolicy::new(sys);
+        let regions = compile_regions(sys);
+        let menu: Vec<usize> = (1..=n.min(6)).collect();
+        let relaxation = compile_relaxation(sys, &regions, StepSet::new(menu).unwrap());
+        for state in 0..n {
+            for q in sys.qualities().iter() {
+                for ri in 0..relaxation.rho().len() {
+                    let r = relaxation.rho().steps()[ri];
+                    if state + r > n {
+                        continue;
+                    }
+                    let (lo, up) = relaxation.bounds(state, q, ri);
+                    if lo >= up {
+                        continue; // empty region
+                    }
+                    // A point strictly inside the relaxation interval.
+                    let t0 = up;
+                    // Walk the cone: j from state, applying the chosen ray.
+                    let mut t = t0;
+                    for j in state..state + r {
+                        let chosen = choose_quality(&policy, sys.qualities().len(), j, t);
+                        prop_assert_eq!(
+                            chosen, Some(q),
+                            "relaxation promised {} at state {} (from {} r {} ray {})",
+                            q, j, state, r, ray
+                        );
+                        let wc = sys.table().wc(j, q);
+                        let dt = match ray {
+                            0 => Time::ZERO,
+                            1 => wc,
+                            _ => Time::from_ns(wc.as_ns() / 2),
+                        };
+                        t += dt;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Proposition 3, tightness direction: the stored upper bound is not
+    /// conservative beyond the definition — stepping just above it breaks
+    /// the guarantee for at least one cone ray.
+    #[test]
+    fn proposition_3_upper_bound_is_tight(arb in arb_system()) {
+        let sys = &arb.system;
+        let n = sys.n_actions();
+        let policy = MixedPolicy::new(sys);
+        let regions = compile_regions(sys);
+        let menu: Vec<usize> = (1..=n.min(4)).collect();
+        let relaxation = compile_relaxation(sys, &regions, StepSet::new(menu).unwrap());
+        for state in 0..n {
+            let q = Quality::MIN;
+            for ri in 0..relaxation.rho().len() {
+                let r = relaxation.rho().steps()[ri];
+                if state + r > n {
+                    continue;
+                }
+                let (lo, up) = relaxation.bounds(state, q, ri);
+                if lo >= up || up.is_infinite() {
+                    continue;
+                }
+                let t_bad = up + Time::from_ns(1);
+                // Above tD,r: by Prop 3 the worst-case ray must violate Rq
+                // membership at some j in the window (or leave the manager
+                // unable to return q at the start state itself).
+                let mut t = t_bad;
+                let mut violated = false;
+                for j in state..state + r {
+                    if choose_quality(&policy, sys.qualities().len(), j, t) != Some(q) {
+                        violated = true;
+                        break;
+                    }
+                    t += sys.table().wc(j, q);
+                }
+                prop_assert!(violated, "upper bound too conservative at state {}", state);
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Round-trip tests for the symbolic-table text format across randomly
+//! generated systems (the artifact that crosses the compiler → runtime
+//! boundary in the paper's Figure 1 tool chain).
+
+mod common;
+
+use common::arb_system;
+use proptest::prelude::*;
+use speed_qm::core::prelude::*;
+use speed_qm::core::tables;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn regions_roundtrip(arb in arb_system()) {
+        let regions = compile_regions(&arb.system);
+        let text = tables::regions_to_string(&regions);
+        let back = tables::regions_from_str(&text).unwrap();
+        prop_assert_eq!(regions, back);
+    }
+
+    #[test]
+    fn relaxation_roundtrip(arb in arb_system(), extra in proptest::collection::vec(2usize..9, 0..3)) {
+        let regions = compile_regions(&arb.system);
+        let mut menu = vec![1usize];
+        menu.extend(extra);
+        menu.sort_unstable();
+        menu.dedup();
+        let relaxation =
+            compile_relaxation(&arb.system, &regions, StepSet::new(menu).unwrap());
+        let text = tables::relaxation_to_string(&relaxation);
+        let back = tables::relaxation_from_str(&text).unwrap();
+        prop_assert_eq!(relaxation, back);
+    }
+
+    /// A deserialized region table drives a manager to the same decisions
+    /// as the in-memory original.
+    #[test]
+    fn deserialized_table_is_behaviorally_identical(arb in arb_system()) {
+        let sys = &arb.system;
+        let regions = compile_regions(sys);
+        let parsed =
+            tables::regions_from_str(&tables::regions_to_string(&regions)).unwrap();
+        for state in 0..sys.n_actions() {
+            for t_ns in [-50i64, 0, 17, 300, 900] {
+                let t = Time::from_ns(t_ns);
+                prop_assert_eq!(regions.choose(state, t).0, parsed.choose(state, t).0);
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupted_inputs_fail_cleanly() {
+    let sys = SystemBuilder::new(2)
+        .action("a", &[10, 20], &[5, 10])
+        .deadline_last(Time::from_ns(100))
+        .build()
+        .unwrap();
+    let regions = compile_regions(&sys);
+    let good = tables::regions_to_string(&regions);
+
+    // Every single-line truncation either parses to the same table or
+    // fails with a ParseError — never panics, never silently alters data.
+    let lines: Vec<&str> = good.lines().collect();
+    for cut in 0..lines.len() {
+        let mut mutated: Vec<&str> = lines.clone();
+        mutated.remove(cut);
+        let text = mutated.join("\n");
+        if let Ok(parsed) = tables::regions_from_str(&text) {
+            assert_eq!(parsed, regions)
+        }
+    }
+}
