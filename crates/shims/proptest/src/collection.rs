@@ -1,0 +1,95 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+use std::ops::{Range, RangeInclusive};
+
+/// A size specification for collections: a fixed length or a range.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        if r.start >= r.end {
+            // Empty range: an impossible lo > hi marks it for rejection.
+            SizeRange { lo: 1, hi: 0 }
+        } else {
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec`s of `element` values with a length drawn from
+/// `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        if self.size.lo > self.size.hi {
+            return None;
+        }
+        let len = rng.rng.gen_range(self.size.lo..=self.size.hi);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.generate(rng)?);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_ranged_sizes() {
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..20 {
+            let v = vec(0i64..5, 3usize).generate(&mut rng).unwrap();
+            assert_eq!(v.len(), 3);
+            let w = vec(0i64..5, 0usize..3).generate(&mut rng).unwrap();
+            assert!(w.len() < 3);
+        }
+    }
+
+    #[test]
+    fn empty_size_range_rejects() {
+        let mut rng = TestRng::from_seed(4);
+        assert!(vec(0i64..5, 0usize..0).generate(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,140 @@
+//! Offline shim for the `proptest` API subset this workspace's property
+//! tests use.
+//!
+//! The build container has no registry access, so the workspace vendors a
+//! small property-testing engine with proptest's surface syntax: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map` / `prop_filter` /
+//! `prop_filter_map`, range and tuple strategies, [`collection::vec`],
+//! [`option::of`], `any::<T>()`, the [`proptest!`] macro, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs
+//!   (`Debug`) and the case index; it does not minimize them.
+//! * **Deterministic seeding.** Cases derive from a fixed seed + case
+//!   index, so CI failures reproduce exactly.
+//!
+//! Swap the path dependency for real proptest in a connected environment —
+//! test sources compile unchanged.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRunner};
+
+/// The macro-facing engine: run each `fn name(pat in strategy, …) { … }`
+/// under the given config.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                runner.run_named(stringify!($name), |__rng| {
+                    let mut __inputs = String::new();
+                    $(
+                        let __value = match $crate::strategy::Strategy::generate(&($strat), __rng) {
+                            Some(v) => v,
+                            None => return Err($crate::test_runner::TestCaseError::reject("strategy rejection")),
+                        };
+                        if !__inputs.is_empty() { __inputs.push_str(", "); }
+                        __inputs.push_str(&format!("{} = {:?}", stringify!($pat), &__value));
+                        let $pat = __value;
+                    )*
+                    // Report inputs both when the body panics (plain
+                    // `assert!`) and when it fails via `prop_assert!`.
+                    let __guard = $crate::test_runner::InputReporter::arm(__inputs.clone());
+                    let __result = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    ::core::mem::drop(__guard);
+                    __result.map_err(|e| e.with_inputs(&__inputs))
+                });
+            }
+        )*
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`): {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fail the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discard the current case (counts as a rejection, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}

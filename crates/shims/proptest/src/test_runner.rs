@@ -1,0 +1,210 @@
+//! The case runner: configuration, the per-case RNG, and failure
+//! reporting.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Runner configuration (`ProptestConfig::with_cases(n)` compatible).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Maximum rejected cases tolerated before the run aborts.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was discarded (`prop_assume!` or strategy rejection).
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Attach the generated inputs to a failure message.
+    pub fn with_inputs(self, inputs: &str) -> TestCaseError {
+        match self {
+            TestCaseError::Fail(m) => TestCaseError::Fail(format!("{m}\n    inputs: {inputs}")),
+            reject => reject,
+        }
+    }
+}
+
+/// The deterministic per-run RNG handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    /// Underlying generator (public to the crate's strategy impls).
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// A generator for the given seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Raw 64-bit output (used by `any::<int>()`).
+    pub fn next_raw(&mut self) -> u64 {
+        self.rng.gen_range(0u64..=u64::MAX)
+    }
+}
+
+/// Prints the generated inputs if the test body panics mid-case.
+pub struct InputReporter {
+    inputs: String,
+}
+
+impl InputReporter {
+    /// Arm a reporter for the current case.
+    pub fn arm(inputs: String) -> InputReporter {
+        InputReporter { inputs }
+    }
+}
+
+impl Drop for InputReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("proptest case inputs: {}", self.inputs);
+        }
+    }
+}
+
+/// Drives the configured number of cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// A runner for `config`.
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        TestRunner { config }
+    }
+
+    /// Run `f` until `config.cases` cases succeed. Panics on the first
+    /// failing case with its seed, index, and inputs.
+    pub fn run_named<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        // A fixed base seed keeps runs reproducible; fold in the test name
+        // so sibling tests explore different sequences.
+        let base = 0x5eed_0000u64 ^ fxhash(name);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut attempt = 0u64;
+        while passed < self.config.cases {
+            let seed = base.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            attempt += 1;
+            let mut rng = TestRng::from_seed(seed);
+            match f(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= self.config.max_global_rejects,
+                        "proptest `{name}`: too many rejected cases \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest `{name}` failed at case {passed} \
+                         (seed {seed:#x}):\n    {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Tiny FNV-style string hash for seed derivation.
+fn fxhash(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_exactly_the_configured_cases() {
+        let mut count = 0;
+        TestRunner::new(ProptestConfig::with_cases(17)).run_named("t", |_rng| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn rejections_are_retried() {
+        let mut attempts = 0;
+        TestRunner::new(ProptestConfig::with_cases(5)).run_named("t", |_rng| {
+            attempts += 1;
+            if attempts % 2 == 0 {
+                Err(TestCaseError::reject("every other"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(attempts >= 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic_with_message() {
+        TestRunner::new(ProptestConfig::with_cases(5))
+            .run_named("t", |_rng| Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    fn seeds_are_deterministic_across_runs() {
+        let collect = || {
+            let mut vals = Vec::new();
+            TestRunner::new(ProptestConfig::with_cases(8)).run_named("same", |rng| {
+                vals.push(rng.next_raw());
+                Ok(())
+            });
+            vals
+        };
+        assert_eq!(collect(), collect());
+    }
+}

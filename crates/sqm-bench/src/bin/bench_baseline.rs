@@ -1,0 +1,93 @@
+//! Emit `BENCH_baseline.json` — the first point of the workspace's
+//! performance trajectory.
+//!
+//! Runs the three Quality Manager implementations through the shared
+//! engine-backed harness on a reduced paper configuration, and records
+//! both *model-level* metrics (virtual-clock overhead ratio, average
+//! quality — the paper's §4.2 numbers) and *host-level* metrics
+//! (wall-clock nanoseconds per controlled action, the quantity later
+//! optimisation PRs must move).
+//!
+//! ```text
+//! cargo run -p sqm-bench --release --bin bench_baseline [out.json]
+//! ```
+
+use std::time::Instant;
+
+use sqm_bench::{ManagerKind, PaperExperiment};
+use sqm_core::relaxation::StepSet;
+use sqm_mpeg::EncoderConfig;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+
+    // Small enough to finish in seconds even in debug CI, large enough
+    // that the numeric manager's suffix scans dominate its cost.
+    let exp = PaperExperiment::with_config_and_rho(
+        EncoderConfig::small(7),
+        StepSet::new(vec![1, 2, 4, 8]).expect("valid step menu"),
+    );
+    let frames = 24;
+
+    let mut entries = Vec::new();
+    for kind in ManagerKind::ALL {
+        // Warm-up run (page in tables, fill allocator pools).
+        let _ = exp.run_summary(kind, 2, 0.1, 11, None);
+
+        // Time the engine's zero-allocation stats path: pure
+        // decide/execute cost, no trace materialization.
+        let t0 = Instant::now();
+        let summary = exp.run_summary(kind, frames, 0.1, 11, None);
+        let host_ns = t0.elapsed().as_nanos() as f64;
+
+        let actions = summary.actions;
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"manager\": \"{}\",\n",
+                "      \"frames\": {},\n",
+                "      \"actions\": {},\n",
+                "      \"host_ns_per_action\": {:.1},\n",
+                "      \"qm_overhead_percent\": {:.4},\n",
+                "      \"avg_quality\": {:.4},\n",
+                "      \"qm_calls\": {},\n",
+                "      \"deadline_misses\": {}\n",
+                "    }}"
+            ),
+            trace_label(kind),
+            frames,
+            actions,
+            host_ns / actions.max(1) as f64,
+            summary.overhead_ratio() * 100.0,
+            summary.avg_quality(),
+            summary.qm_calls,
+            summary.misses,
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"speed-qm/bench-baseline/v1\",\n",
+            "  \"config\": \"EncoderConfig::small(7), jitter 0.1, seed 11\",\n",
+            "  \"note\": \"wall-clock numbers are machine-dependent; track deltas, not absolutes\",\n",
+            "  \"managers\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        entries.join(",\n")
+    );
+
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    println!("wrote {out_path}");
+    print!("{json}");
+}
+
+fn trace_label(kind: ManagerKind) -> &'static str {
+    match kind {
+        ManagerKind::Numeric => "numeric",
+        ManagerKind::Regions => "regions",
+        ManagerKind::Relaxation => "relaxation",
+    }
+}

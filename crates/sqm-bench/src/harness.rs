@@ -3,8 +3,9 @@
 //! their calibrated overhead models, and collect traces.
 
 use sqm_core::compiler::{compile_regions, compile_relaxation};
-use sqm_core::controller::{CyclicRunner, OverheadModel};
-use sqm_core::manager::{LookupManager, NumericManager, RelaxedManager};
+use sqm_core::controller::OverheadModel;
+use sqm_core::engine::{CycleChaining, Engine, NullSink, RunSummary, TraceSink};
+use sqm_core::manager::{LookupManager, NumericManager, QualityManager, RelaxedManager};
 use sqm_core::policy::MixedPolicy;
 use sqm_core::regions::QualityRegionTable;
 use sqm_core::relaxation::{RelaxationTable, StepSet};
@@ -89,7 +90,67 @@ impl PaperExperiment {
 
     /// Run `frames` cycles under the given manager, charging its calibrated
     /// overhead; actual times are content-driven with ±`jitter`, optionally
-    /// with a macroblock burst (Fig. 8's hot region).
+    /// with a macroblock burst (Fig. 8's hot region). Records stream into
+    /// `sink`; aggregates come back as a [`RunSummary`].
+    ///
+    /// Every manager routes through the shared [`Engine`]: the `match`
+    /// below monomorphizes the hot loop once per manager type — no
+    /// `Box<dyn QualityManager>`, no per-action allocation.
+    pub fn run_into<S: TraceSink>(
+        &self,
+        kind: ManagerKind,
+        frames: usize,
+        jitter: f64,
+        exec_seed: u64,
+        burst: Option<(usize, usize, f64)>,
+        sink: &mut S,
+    ) -> RunSummary {
+        let sys = self.encoder.system();
+        let period = self.encoder.config().frame_period;
+        let mut exec = self.encoder.exec(jitter, exec_seed);
+        if let Some((lo, hi, f)) = burst {
+            exec = exec.with_burst(lo, hi, f);
+        }
+        let overhead = kind.overhead_model();
+        fn drive<M: QualityManager, X, S>(
+            sys: &sqm_core::system::ParameterizedSystem,
+            manager: M,
+            overhead: OverheadModel,
+            frames: usize,
+            period: sqm_core::time::Time,
+            exec: &mut X,
+            sink: &mut S,
+        ) -> RunSummary
+        where
+            X: sqm_core::controller::ExecutionTimeSource,
+            S: TraceSink,
+        {
+            Engine::new(sys, manager, overhead).run_cycles(
+                frames,
+                period,
+                CycleChaining::WorkConserving,
+                exec,
+                sink,
+            )
+        }
+        match kind {
+            ManagerKind::Numeric => {
+                let policy = MixedPolicy::new(sys);
+                let manager = NumericManager::new(sys, &policy);
+                drive(sys, manager, overhead, frames, period, &mut exec, sink)
+            }
+            ManagerKind::Regions => {
+                let manager = LookupManager::new(&self.regions);
+                drive(sys, manager, overhead, frames, period, &mut exec, sink)
+            }
+            ManagerKind::Relaxation => {
+                let manager = RelaxedManager::new(&self.regions, &self.relaxation);
+                drive(sys, manager, overhead, frames, period, &mut exec, sink)
+            }
+        }
+    }
+
+    /// Run and materialize the full trace (figure/table binaries).
     pub fn run(
         &self,
         kind: ManagerKind,
@@ -98,28 +159,22 @@ impl PaperExperiment {
         exec_seed: u64,
         burst: Option<(usize, usize, f64)>,
     ) -> Trace {
-        let sys = self.encoder.system();
-        let period = self.encoder.config().frame_period;
-        let mut exec = self.encoder.exec(jitter, exec_seed);
-        if let Some((lo, hi, f)) = burst {
-            exec = exec.with_burst(lo, hi, f);
-        }
-        let overhead = kind.overhead_model();
-        match kind {
-            ManagerKind::Numeric => {
-                let policy = MixedPolicy::new(sys);
-                let manager = NumericManager::new(sys, &policy);
-                CyclicRunner::new(sys, manager, overhead, period).run(frames, &mut exec)
-            }
-            ManagerKind::Regions => {
-                let manager = LookupManager::new(&self.regions);
-                CyclicRunner::new(sys, manager, overhead, period).run(frames, &mut exec)
-            }
-            ManagerKind::Relaxation => {
-                let manager = RelaxedManager::new(&self.regions, &self.relaxation);
-                CyclicRunner::new(sys, manager, overhead, period).run(frames, &mut exec)
-            }
-        }
+        let mut trace = Trace::default();
+        self.run_into(kind, frames, jitter, exec_seed, burst, &mut trace);
+        trace
+    }
+
+    /// Run without recording anything: the zero-allocation stats path used
+    /// by host-side baselines.
+    pub fn run_summary(
+        &self,
+        kind: ManagerKind,
+        frames: usize,
+        jitter: f64,
+        exec_seed: u64,
+        burst: Option<(usize, usize, f64)>,
+    ) -> RunSummary {
+        self.run_into(kind, frames, jitter, exec_seed, burst, &mut NullSink)
     }
 }
 
@@ -189,6 +244,20 @@ mod tests {
             let trace = exp.run(kind, 4, 0.1, 11, None);
             assert_eq!(trace.cycles.len(), 4);
             assert_eq!(trace.total_misses(), 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn summary_path_matches_trace_path() {
+        let exp = tiny();
+        for kind in ManagerKind::ALL {
+            let trace = exp.run(kind, 3, 0.1, 11, None);
+            let summary = exp.run_summary(kind, 3, 0.1, 11, None);
+            assert_eq!(summary.actions, trace.total_actions(), "{kind:?}");
+            assert_eq!(summary.qm_calls, trace.total_qm_calls());
+            assert_eq!(summary.misses, trace.total_misses());
+            assert!((summary.avg_quality() - trace.avg_quality()).abs() < 1e-12);
+            assert!((summary.overhead_ratio() - trace.overhead_ratio()).abs() < 1e-12);
         }
     }
 

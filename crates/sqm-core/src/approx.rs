@@ -155,7 +155,11 @@ impl LinearApprox {
     /// # Panics
     /// If the approximation covers zero states or `state` is out of range.
     pub fn eval(&self, state: usize) -> Time {
-        assert!(state < self.n, "state {state} out of range (n = {})", self.n);
+        assert!(
+            state < self.n,
+            "state {state} out of range (n = {})",
+            self.n
+        );
         let idx = self
             .segments
             .partition_point(|s| s.end <= state)

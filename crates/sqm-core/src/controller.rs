@@ -8,11 +8,16 @@
 //! paper's Fig. 7: a cheaper manager leaves more budget for the application,
 //! which the policy then converts into higher quality levels.
 //!
-//! [`CycleRunner`] executes a single cycle; [`CyclicRunner`] iterates cycles
-//! (video frames), carrying earliness/lateness across cycle boundaries the
-//! way a streaming encoder does.
+//! The loop itself lives in [`crate::engine`]; this module keeps the
+//! execution-time sources, the overhead model, and the trace-building
+//! runner API: [`CycleRunner`] executes a single cycle, [`CyclicRunner`]
+//! iterates cycles (video frames), carrying earliness/lateness across
+//! cycle boundaries the way a streaming encoder does. Both are thin shells
+//! over [`crate::engine::Engine`] — use the engine directly for
+//! allocation-free or custom-sink runs.
 
 use crate::action::ActionId;
+use crate::engine::{CycleChaining, Engine, TraceSink};
 use crate::manager::QualityManager;
 use crate::quality::Quality;
 use crate::system::ParameterizedSystem;
@@ -107,26 +112,23 @@ impl OverheadModel {
     }
 }
 
-/// Runs single cycles of `PS ‖ Γ`.
+/// Runs single cycles of `PS ‖ Γ`, materializing a [`CycleTrace`] per
+/// cycle. A convenience shell over [`Engine`].
 pub struct CycleRunner<'a, M: QualityManager> {
-    sys: &'a ParameterizedSystem,
-    manager: M,
-    overhead: OverheadModel,
+    engine: Engine<'a, M>,
 }
 
 impl<'a, M: QualityManager> CycleRunner<'a, M> {
     /// A runner composing `sys` with `manager` under an overhead model.
     pub fn new(sys: &'a ParameterizedSystem, manager: M, overhead: OverheadModel) -> Self {
         CycleRunner {
-            sys,
-            manager,
-            overhead,
+            engine: Engine::new(sys, manager, overhead),
         }
     }
 
     /// Access the wrapped manager.
     pub fn manager(&mut self) -> &mut M {
-        &mut self.manager
+        self.engine.manager()
     }
 
     /// Execute one cycle starting at cycle-relative time `start` (negative
@@ -138,54 +140,35 @@ impl<'a, M: QualityManager> CycleRunner<'a, M> {
         start: Time,
         exec: &mut E,
     ) -> CycleTrace {
-        let n = self.sys.n_actions();
-        let mut records = Vec::with_capacity(n);
-        let mut t = start;
-        self.manager.reset();
-        let mut i = 0;
-        while i < n {
-            let decision = self.manager.decide(i, t);
-            let overhead = self.overhead.cost(decision.work);
-            t += overhead;
-            let hold = decision.hold.max(1).min(n - i);
-            for step in 0..hold {
-                let duration = exec.actual(cycle, i, decision.quality);
-                let end = t + duration;
-                let missed = self.sys.deadlines().get(i).is_some_and(|d| end > d);
-                records.push(ActionRecord {
-                    action: i,
-                    quality: decision.quality,
-                    decided: step == 0,
-                    qm_work: if step == 0 { decision.work } else { 0 },
-                    qm_overhead: if step == 0 { overhead } else { Time::ZERO },
-                    start: t,
-                    duration,
-                    end,
-                    missed_deadline: missed,
-                    infeasible: step == 0 && decision.infeasible,
-                });
-                t = end;
-                i += 1;
-            }
-        }
-        CycleTrace {
-            cycle,
-            start,
-            records,
-        }
+        let mut collector = CycleCollector {
+            trace: CycleTrace {
+                cycle,
+                start,
+                records: Vec::with_capacity(self.engine.system().n_actions()),
+            },
+        };
+        self.engine.run_cycle(cycle, start, exec, &mut collector);
+        collector.trace
+    }
+}
+
+/// Sink building a single [`CycleTrace`].
+struct CycleCollector {
+    trace: CycleTrace,
+}
+
+impl TraceSink for CycleCollector {
+    fn record(&mut self, record: &ActionRecord) {
+        self.trace.records.push(*record);
     }
 }
 
 /// Runs many consecutive cycles (frames), carrying time across cycle
-/// boundaries.
+/// boundaries. A convenience shell over [`Engine::run_cycles`].
 pub struct CyclicRunner<'a, M: QualityManager> {
-    runner: CycleRunner<'a, M>,
+    engine: Engine<'a, M>,
     period: Time,
-    /// If `true` (streaming file encode), a cycle may start before its
-    /// period boundary and accumulated earliness becomes extra budget. If
-    /// `false` (live capture), input for cycle `c` only exists from
-    /// `c · period`, so the start time is clamped at 0 cycle-relative.
-    work_conserving: bool,
+    chaining: CycleChaining,
 }
 
 impl<'a, M: QualityManager> CyclicRunner<'a, M> {
@@ -198,31 +181,23 @@ impl<'a, M: QualityManager> CyclicRunner<'a, M> {
         period: Time,
     ) -> Self {
         CyclicRunner {
-            runner: CycleRunner::new(sys, manager, overhead),
+            engine: Engine::new(sys, manager, overhead),
             period,
-            work_conserving: true,
+            chaining: CycleChaining::WorkConserving,
         }
     }
 
     /// Clamp cycle starts at their period boundary (live-capture mode).
     pub fn with_arrival_clamping(mut self) -> Self {
-        self.work_conserving = false;
+        self.chaining = CycleChaining::ArrivalClamped;
         self
     }
 
     /// Run `cycles` consecutive cycles.
     pub fn run<E: ExecutionTimeSource>(&mut self, cycles: usize, exec: &mut E) -> Trace {
         let mut trace = Trace::default();
-        let mut start_rel = Time::ZERO;
-        for c in 0..cycles {
-            let ct = self.runner.run_cycle(c, start_rel, exec);
-            let end_rel = ct.records.last().map_or(start_rel, |r| r.end);
-            trace.cycles.push(ct);
-            start_rel = end_rel - self.period;
-            if !self.work_conserving {
-                start_rel = start_rel.max(Time::ZERO);
-            }
-        }
+        self.engine
+            .run_cycles(cycles, self.period, self.chaining, exec, &mut trace);
         trace
     }
 }

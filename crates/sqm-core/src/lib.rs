@@ -4,25 +4,38 @@
 //! of *"Using Speed Diagrams for Symbolic Quality Management"* (Combaz,
 //! Fernandez, Sifakis, Strus — IPPS 2007).
 //!
-//! The library is organized around the paper's pipeline (its Figure 1):
+//! The library is organized around the paper's pipeline (its Figure 1),
+//! with one execution layer underneath everything:
 //!
 //! 1. **Model** — [`system::ParameterizedSystem`]: a scheduled sequence of
 //!    atomic actions with quality-parameterized worst-case (`Cwc`) and
 //!    average (`Cav`) execution times and a deadline function `D`.
+//!    Supporting vocabulary: [`action`], [`quality`], [`time`], [`timing`],
+//!    [`prefix`], [`error`].
 //! 2. **Policies** — [`policy`]: the function `tD(s, q)`; the paper's
 //!    *mixed* policy `CD = Cav + δmax` plus the safe and average baselines.
 //! 3. **Speed diagrams** — [`speed`]: the (actual time × virtual time)
-//!    geometry; ideal and optimal speeds; Proposition 1.
+//!    geometry; ideal and optimal speeds; Proposition 1. Design-time
+//!    helpers live in [`analysis`].
 //! 4. **Symbolic compilation** — [`regions`], [`relaxation`], [`compiler`]:
 //!    quality regions `Rq` (Proposition 2) and control relaxation regions
-//!    `Rrq` (Proposition 3) pre-computed as integer tables.
+//!    `Rrq` (Proposition 3) pre-computed as integer tables; [`tables`]
+//!    serializes them across the compiler → runtime boundary.
 //! 5. **Quality Managers** — [`manager`]: the online controllers — numeric
 //!    (re-computes `tD` per call), lookup (table-driven), and relaxed
-//!    (skips control for `r` steps inside `Rrq`).
-//! 6. **Controller** — [`controller`]: composes `PS ‖ Γ`, charges the QM's
-//!    own overhead to the clock, and records [`trace`]s.
+//!    (skips control for `r` steps inside `Rrq`); [`smoothness`] scores
+//!    their fluctuation, and `SmoothedManager` rate-limits it.
+//! 6. **Engine** — [`engine`]: the *monomorphized, allocation-free* hot
+//!    loop (decide → charge overhead → execute → check deadline), generic
+//!    over manager and execution-time source, streaming records into
+//!    pluggable [`engine::TraceSink`]s (full [`trace`]s, caller-provided
+//!    buffers, or in-place [`engine::RunSummary`] aggregation).
+//! 7. **Controller** — [`controller`]: the execution-time sources and the
+//!    overhead model, plus the trace-building `CycleRunner` /
+//!    `CyclicRunner` shells over the engine.
 //!
-//! Extensions from the paper's conclusion: [`multi`] (multiple tasks) and
+//! Extensions from the paper's conclusion: [`multi`] (multiple statically
+//! interleaved tasks and their engine-backed `MultiTaskRunner`) and
 //! [`approx`] (linear-constraint approximation of region tables).
 
 #![forbid(unsafe_code)]
@@ -33,6 +46,7 @@ pub mod analysis;
 pub mod approx;
 pub mod compiler;
 pub mod controller;
+pub mod engine;
 pub mod error;
 pub mod manager;
 mod manager_smooth;
@@ -56,6 +70,9 @@ pub mod prelude {
     pub use crate::compiler::{compile_regions, compile_relaxation, Compiled, TableStats};
     pub use crate::controller::{
         ConstantExec, CycleRunner, CyclicRunner, ExecutionTimeSource, FnExec, OverheadModel,
+    };
+    pub use crate::engine::{
+        CycleChaining, CycleSummary, Engine, NullSink, RecordBuffer, RunSummary, TraceSink,
     };
     pub use crate::error::{BuildError, ParseError};
     pub use crate::manager::{

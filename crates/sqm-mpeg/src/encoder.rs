@@ -122,6 +122,21 @@ impl EncoderConfig {
         }
     }
 
+    /// A QCIF-scale configuration (176×144 → 99 macroblocks → 298
+    /// actions): large enough that the numeric manager's suffix scans
+    /// dominate its cost, small enough for CI baselines. The frame period
+    /// keeps the paper's per-action budget (≈ 0.9 ms/action).
+    pub fn small(seed: u64) -> EncoderConfig {
+        EncoderConfig {
+            width: 176,
+            height: 144,
+            n_quality: 7,
+            frame_period: Time::from_ms(270),
+            frames: 24,
+            seed,
+        }
+    }
+
     /// A small configuration for tests (fewer macroblocks, same shape).
     pub fn tiny(seed: u64) -> EncoderConfig {
         EncoderConfig {

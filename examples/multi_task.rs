@@ -7,9 +7,9 @@
 //! cargo run --example multi_task
 //! ```
 
-use speed_qm::core::controller::{ConstantExec, CycleRunner, OverheadModel};
+use speed_qm::core::controller::{ConstantExec, OverheadModel};
 use speed_qm::core::manager::NumericManager;
-use speed_qm::core::multi::interleave;
+use speed_qm::core::multi::{interleave, MultiTaskRunner};
 use speed_qm::core::policy::MixedPolicy;
 use speed_qm::core::system::SystemBuilder;
 use speed_qm::core::time::Time;
@@ -47,18 +47,19 @@ fn main() {
     }
 
     // One Quality Manager controls both tasks; quality is degraded
-    // globally whenever either task's deadline tightens.
+    // globally whenever either task's deadline tightens. The multi-task
+    // runner routes through the shared engine and attributes results back
+    // to each source task as records are produced.
     let policy = MixedPolicy::new(&merged.system);
-    let mut runner = CycleRunner::new(
-        &merged.system,
+    let period = Time::from_ns(5_200);
+    let mut runner = MultiTaskRunner::new(
+        &merged,
         NumericManager::new(&merged.system, &policy),
         OverheadModel::ZERO,
+        period,
     );
-    let trace = runner.run_cycle(
-        0,
-        Time::ZERO,
-        &mut ConstantExec::average(merged.system.table()),
-    );
+    let full = runner.run(1, &mut ConstantExec::average(merged.system.table()));
+    let trace = full.cycles.into_iter().next().expect("one cycle ran");
 
     println!("\nexecution:");
     for r in &trace.records {
@@ -75,6 +76,17 @@ fn main() {
         stats.avg_quality, stats.misses
     );
     assert_eq!(stats.misses, 0);
+
+    // Per-task attribution, collected inline by the runner's sink.
+    println!("\nper-task results:");
+    for (t, s) in runner.task_summaries().iter().enumerate() {
+        println!(
+            "  task{t}: {} actions, avg quality {:.2}, {} misses",
+            s.actions,
+            s.avg_quality(),
+            s.misses
+        );
+    }
 
     // Modular speed diagrams (the conclusion's last bullet): project the
     // merged execution back into each task's own diagram. The competitor's

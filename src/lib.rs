@@ -7,15 +7,26 @@
 //!
 //! * [`core`] — the paper's contribution: parameterized systems, the mixed
 //!   quality-management policy, speed diagrams, quality regions, control
-//!   relaxation regions, and the numeric / lookup / relaxed quality managers.
+//!   relaxation regions, and the numeric / lookup / relaxed quality
+//!   managers — all executed by one shared engine (`core::engine`): a
+//!   monomorphized, allocation-free decide → charge-overhead → execute →
+//!   check-deadline loop that every runner (single-task, cyclic,
+//!   multi-task, bench harness) routes through, streaming records into
+//!   pluggable sinks (full traces, caller-provided buffers, or in-place
+//!   summaries).
 //! * [`platform`] — a virtual execution platform (virtual clock, stochastic
-//!   execution-time models bounded by `Cwc`, profiler).
+//!   execution-time models bounded by `Cwc`, profiler, calibrated QM
+//!   overhead models, fault injection).
 //! * [`mpeg`] — the MPEG-like encoder workload of the paper's evaluation
 //!   (1,189 actions per frame, 7 quality levels).
 //! * [`power`] — the DVFS extension sketched in the paper's conclusion
 //!   (quality level ↦ CPU frequency, energy minimization without misses).
 //! * [`audio`] — a second application domain: an adaptive transform audio
 //!   codec (FFT, subbands, psychoacoustic bit allocation).
+//!
+//! The experiment harness and figure/table binaries live in the
+//! (unre-exported) `sqm-bench` crate; `cargo run -p sqm-bench --release
+//! --bin bench_baseline` emits the workspace's performance baseline.
 //!
 //! ## Quickstart
 //!

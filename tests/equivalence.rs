@@ -81,6 +81,43 @@ proptest! {
         }
     }
 
+    /// The engine's zero-allocation summary path reports exactly the
+    /// aggregates of the materialized trace, for every manager, across
+    /// randomized systems — the refactor that carved the runners' shared
+    /// loop into `core::engine` changed no observable behaviour.
+    #[test]
+    fn engine_summary_equals_trace_aggregates(arb in arb_system()) {
+        let sys = &arb.system;
+        let policy = MixedPolicy::new(sys);
+        let regions = compile_regions(sys);
+        let relaxation =
+            compile_relaxation(sys, &regions, StepSet::new(vec![1, 2, 4]).unwrap());
+        let overhead = OverheadModel::new(Time::from_ns(2), Time::from_ns(1));
+
+        macro_rules! check {
+            ($manager:expr) => {{
+                let mut trace = speed_qm::core::trace::Trace::default();
+                let summary = Engine::new(sys, $manager, overhead).run_cycles(
+                    3,
+                    sys.final_deadline(),
+                    CycleChaining::WorkConserving,
+                    &mut FnExec(fraction_exec(sys, &arb.fractions)),
+                    &mut trace,
+                );
+                prop_assert_eq!(summary.actions, trace.total_actions());
+                prop_assert_eq!(summary.qm_calls, trace.total_qm_calls());
+                prop_assert_eq!(summary.misses, trace.total_misses());
+                prop_assert!((summary.avg_quality() - trace.avg_quality()).abs() < 1e-12);
+                prop_assert!(
+                    (summary.overhead_ratio() - trace.overhead_ratio()).abs() < 1e-12
+                );
+            }};
+        }
+        check!(NumericManager::new(sys, &policy));
+        check!(LookupManager::new(&regions));
+        check!(RelaxedManager::new(&regions, &relaxation));
+    }
+
     /// Under constant-average execution, all three managers agree with the
     /// same trace across *cycles* too (the cyclic runner carry-over does
     /// not break equivalence).

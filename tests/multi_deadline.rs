@@ -23,8 +23,9 @@ fn sliced_system(stride: usize) -> ParameterizedSystem {
     for i in 0..n {
         actions.push(ActionInfo::named(format!("a{i}")));
         let bump = (i % 11) as i64 * 2_000;
-        let av: Vec<Time> =
-            (0..nq).map(|q| Time::from_ns(292_000 + 133_000 * q as i64 + bump)).collect();
+        let av: Vec<Time> = (0..nq)
+            .map(|q| Time::from_ns(292_000 + 133_000 * q as i64 + bump))
+            .collect();
         let wc: Vec<Time> = av.iter().map(|t| Time::from_ns(t.as_ns() * 2)).collect();
         table.push_action(&wc, &av);
     }
@@ -44,8 +45,11 @@ fn sliced_system_is_safe_under_worst_case() {
     let sys = sliced_system(100);
     assert!(sys.deadlines().constrained_count() >= 12);
     let policy = MixedPolicy::new(&sys);
-    let mut runner =
-        CycleRunner::new(&sys, NumericManager::new(&sys, &policy), OverheadModel::ZERO);
+    let mut runner = CycleRunner::new(
+        &sys,
+        NumericManager::new(&sys, &policy),
+        OverheadModel::ZERO,
+    );
     let trace = runner.run_cycle(0, Time::ZERO, &mut ConstantExec::worst_case(sys.table()));
     assert_eq!(trace.stats().misses, 0);
 }
@@ -55,11 +59,11 @@ fn sliced_symbolic_equals_numeric_at_scale() {
     let sys = sliced_system(100);
     let policy = MixedPolicy::new(&sys);
     let regions = compile_regions(&sys);
-    let relaxation =
-        compile_relaxation(&sys, &regions, StepSet::new(vec![1, 5, 10, 25]).unwrap());
+    let relaxation = compile_relaxation(&sys, &regions, StepSet::new(vec![1, 5, 10, 25]).unwrap());
 
-    let fractions: Vec<f64> =
-        (0..sys.n_actions()).map(|i| 0.3 + 0.5 * ((i * 7919) % 100) as f64 / 100.0).collect();
+    let fractions: Vec<f64> = (0..sys.n_actions())
+        .map(|i| 0.3 + 0.5 * ((i * 7919) % 100) as f64 / 100.0)
+        .collect();
 
     let run = |manager: &mut dyn QualityManager| -> Vec<usize> {
         struct ByRef<'a>(&'a mut dyn QualityManager);
@@ -73,7 +77,9 @@ fn sliced_symbolic_equals_numeric_at_scale() {
         }
         let mut runner = CycleRunner::new(&sys, ByRef(manager), OverheadModel::ZERO);
         let mut exec = FnExec(fraction_exec(&sys, &fractions));
-        runner.run_cycle(0, Time::ZERO, &mut exec).quality_sequence()
+        runner
+            .run_cycle(0, Time::ZERO, &mut exec)
+            .quality_sequence()
     };
 
     let numeric = run(&mut NumericManager::new(&sys, &policy));
