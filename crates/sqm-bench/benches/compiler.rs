@@ -6,7 +6,9 @@
 //! start-up even for systems two orders of magnitude larger.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sqm_core::compiler::{compile_regions, compile_relaxation, compile_relaxation_parallel};
+use sqm_core::compiler::{
+    compile_regions, compile_regions_parallel, compile_relaxation, compile_relaxation_parallel,
+};
 use sqm_core::relaxation::StepSet;
 use sqm_core::system::{ParameterizedSystem, SystemBuilder};
 use sqm_core::time::Time;
@@ -29,8 +31,11 @@ fn bench_compile_regions(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile_regions");
     for n in [1_189usize, 10_000, 50_000] {
         let sys = synthetic_system(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
             b.iter(|| black_box(compile_regions(black_box(&sys))));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel4", n), &n, |b, _| {
+            b.iter(|| black_box(compile_regions_parallel(black_box(&sys), 4)));
         });
     }
     group.finish();

@@ -1,0 +1,35 @@
+//! Sharded multi-stream throughput: the same mixed MPEG + audio fleet run
+//! serially and on 2/4/8 workers.
+//!
+//! Stream results are deterministic per spec, so every variant does
+//! identical work — the measured difference is pure scheduling/threading
+//! cost (and, on multi-core hosts, the parallel speedup). Same shape as
+//! `benches/compiler.rs`: a serial reference next to scoped-thread
+//! variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqm_bench::FleetExperiment;
+use std::hint::black_box;
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+    let exp = FleetExperiment::small(7);
+    let specs = exp.mixed_specs(8, 3);
+    group.bench_function(BenchmarkId::new("serial", specs.len()), |b| {
+        b.iter(|| black_box(exp.run_serial(black_box(&specs))));
+    });
+    for workers in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("workers{workers}"), specs.len()),
+            &workers,
+            |b, &w| {
+                b.iter(|| black_box(exp.run(black_box(&specs), w)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

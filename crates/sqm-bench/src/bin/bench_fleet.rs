@@ -1,0 +1,122 @@
+//! Emit `BENCH_fleet.json` — the second point of the workspace's
+//! performance trajectory, next to `BENCH_baseline.json`.
+//!
+//! Where the baseline measures one stream's per-action cost, this measures
+//! **aggregate multi-stream throughput**: a mixed fleet of MPEG and audio
+//! streams sharded over 1/2/4/8 workers via `sqm_core::fleet`. Two time
+//! domains are reported:
+//!
+//! * **virtual-platform** makespan/speedup — the modeled quantity the
+//!   whole reproduction runs in (every stream has its own virtual clock),
+//!   deterministic and hardware-independent: with `S` similar streams the
+//!   speedup at `W ≤ S` workers approaches `W`;
+//! * **host wall-clock** per worker count — machine-dependent (track
+//!   deltas, not absolutes; on a single-core container the thread variants
+//!   only add scheduling overhead).
+//!
+//! The binary also pins the correctness side of the bargain before it
+//! publishes numbers: the 1-worker fleet result must be byte-identical to
+//! the serial `RunSummary` path.
+//!
+//! ```text
+//! cargo run -p sqm-bench --release --bin bench_fleet [out.json]
+//! ```
+
+use std::time::Instant;
+
+use sqm_bench::FleetExperiment;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fleet.json".to_string());
+
+    let exp = FleetExperiment::small(7);
+    let streams = 16;
+    let cycles = 6;
+    let specs = exp.mixed_specs(streams, cycles);
+
+    // Correctness gate: fleet(1) ≡ the serial reference, byte for byte.
+    let serial = exp.run_serial(&specs);
+    let one_worker = exp.run(&specs, 1);
+    assert_eq!(
+        serial, one_worker,
+        "1-worker fleet must be byte-identical to the serial RunSummary path"
+    );
+    println!("identity check: fleet(1 worker) == serial reference ✓");
+
+    let aggregate = serial.aggregate();
+    let serial_virtual_ns = serial.serial_virtual_time().as_ns();
+
+    let mut entries = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        // Warm-up, then time the whole fleet run on the host clock.
+        let _ = exp.run(&specs, workers);
+        let t0 = Instant::now();
+        let fleet = exp.run(&specs, workers);
+        let host_ns = t0.elapsed().as_nanos() as f64;
+        assert_eq!(fleet, serial, "workers = {workers} changed the result");
+
+        let makespan_ns = fleet.virtual_makespan(workers).as_ns();
+        let speedup = fleet.virtual_speedup(workers);
+        println!(
+            "workers {workers}: virtual makespan {makespan_ns} ns, \
+             virtual speedup {speedup:.2}x, host {host_ns:.0} ns",
+        );
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"workers\": {},\n",
+                "      \"virtual_makespan_ns\": {},\n",
+                "      \"virtual_speedup\": {:.4},\n",
+                "      \"host_wall_ns\": {:.0}\n",
+                "    }}"
+            ),
+            workers, makespan_ns, speedup, host_ns,
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"speed-qm/bench-fleet/v1\",\n",
+            "  \"config\": \"FleetExperiment::small(7), {} mixed mpeg+audio streams x {} cycles\",\n",
+            "  \"note\": \"virtual-* numbers are deterministic platform-model quantities; host_wall_ns is machine-dependent (track deltas, not absolutes)\",\n",
+            "  \"one_worker_byte_identical_to_serial\": true,\n",
+            "  \"aggregate\": {{\n",
+            "    \"streams\": {},\n",
+            "    \"cycles\": {},\n",
+            "    \"actions\": {},\n",
+            "    \"deadline_misses\": {},\n",
+            "    \"avg_quality\": {:.4},\n",
+            "    \"qm_overhead_percent\": {:.4},\n",
+            "    \"serial_virtual_ns\": {}\n",
+            "  }},\n",
+            "  \"scaling\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        streams,
+        cycles,
+        serial.n_streams(),
+        aggregate.cycles,
+        aggregate.actions,
+        aggregate.misses,
+        aggregate.avg_quality(),
+        aggregate.overhead_ratio() * 100.0,
+        serial_virtual_ns,
+        entries.join(",\n")
+    );
+
+    // Gate before publishing: a run that fails acceptance must not leave a
+    // fresh, passing-looking artifact behind.
+    let s4 = serial.virtual_speedup(4);
+    assert!(
+        s4 >= 2.0,
+        "acceptance: ≥2x aggregate throughput at 4 workers, got {s4:.2}x"
+    );
+    println!("acceptance check: {s4:.2}x aggregate throughput at 4 workers (≥2x) ✓");
+
+    std::fs::write(&out_path, &json).expect("write fleet bench json");
+    println!("wrote {out_path}");
+    print!("{json}");
+}

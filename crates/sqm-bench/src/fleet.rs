@@ -1,0 +1,210 @@
+//! Fleet harness: the multi-stream workload the fleet benches and the
+//! `bench_fleet` binary share.
+//!
+//! A [`FleetExperiment`] prepares **one** set of compiled artifacts — the
+//! MPEG encoder with its region/relaxation tables and the audio codec with
+//! its region table — and serves every stream from them by reference: the
+//! tables are read-only, so sharding needs no duplication and no locking.
+//! Streams differ in workload kind, manager, seed and cycle count, which
+//! is exactly the production shape the ROADMAP's "batch/shard cycle
+//! execution" item calls for: many users' independent encodes in flight,
+//! one symbolic compilation.
+
+use sqm_audio::{AudioCodec, AudioConfig};
+use sqm_core::compiler::compile_regions;
+use sqm_core::engine::{CycleChaining, Engine, RecordBuffer, RunSummary};
+use sqm_core::fleet::{FleetRunner, FleetSummary, StreamScratch, StreamSpec};
+use sqm_core::manager::LookupManager;
+use sqm_core::regions::QualityRegionTable;
+use sqm_core::relaxation::StepSet;
+use sqm_mpeg::EncoderConfig;
+use sqm_platform::overhead;
+
+use crate::harness::{ManagerKind, PaperExperiment};
+
+/// Which application a stream runs — the `workload` payload of the fleet's
+/// [`StreamSpec`]s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FleetWorkload {
+    /// The MPEG encoder under one of the three §4.1 managers.
+    Mpeg(ManagerKind),
+    /// The adaptive audio codec under the symbolic (regions) manager.
+    Audio,
+}
+
+impl FleetWorkload {
+    /// Display label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FleetWorkload::Mpeg(ManagerKind::Numeric) => "mpeg/numeric",
+            FleetWorkload::Mpeg(ManagerKind::Regions) => "mpeg/regions",
+            FleetWorkload::Mpeg(ManagerKind::Relaxation) => "mpeg/relaxation",
+            FleetWorkload::Audio => "audio/regions",
+        }
+    }
+}
+
+/// Shared read-only state serving every stream of a fleet run.
+pub struct FleetExperiment {
+    mpeg: PaperExperiment,
+    audio: AudioCodec,
+    audio_regions: QualityRegionTable,
+    jitter: f64,
+}
+
+impl FleetExperiment {
+    /// The CI-scale setup: the `small` encoder (298 actions) with the
+    /// baseline step menu, plus the `tiny` audio codec — the same
+    /// configurations `bench_baseline` and the test suite use.
+    pub fn small(seed: u64) -> FleetExperiment {
+        let mpeg = PaperExperiment::with_config_and_rho(
+            EncoderConfig::small(seed),
+            StepSet::new(vec![1, 2, 4, 8]).expect("valid step menu"),
+        );
+        let audio = AudioCodec::new(AudioConfig::tiny(seed)).expect("audio config is feasible");
+        let audio_regions = compile_regions(audio.system());
+        FleetExperiment {
+            mpeg,
+            audio,
+            audio_regions,
+            jitter: 0.1,
+        }
+    }
+
+    /// The shared MPEG experiment.
+    pub fn mpeg(&self) -> &PaperExperiment {
+        &self.mpeg
+    }
+
+    /// The shared audio codec.
+    pub fn audio(&self) -> &AudioCodec {
+        &self.audio
+    }
+
+    /// A mixed spec list: `streams` streams of `cycles` cycles each,
+    /// round-robining over the three MPEG managers and the audio codec,
+    /// with per-stream seeds.
+    pub fn mixed_specs(&self, streams: usize, cycles: usize) -> Vec<StreamSpec<FleetWorkload>> {
+        const KINDS: [FleetWorkload; 4] = [
+            FleetWorkload::Mpeg(ManagerKind::Numeric),
+            FleetWorkload::Mpeg(ManagerKind::Regions),
+            FleetWorkload::Mpeg(ManagerKind::Relaxation),
+            FleetWorkload::Audio,
+        ];
+        (0..streams)
+            .map(|i| StreamSpec {
+                workload: KINDS[i % KINDS.len()],
+                seed: 100 + i as u64,
+                cycles,
+            })
+            .collect()
+    }
+
+    /// Run one stream to completion, recording its actions into the
+    /// worker's reusable scratch buffer. This is the `drive` closure body
+    /// of every fleet path and the serial reference path alike, so the two
+    /// are identical by construction.
+    pub fn run_stream(
+        &self,
+        spec: &StreamSpec<FleetWorkload>,
+        scratch: &mut StreamScratch,
+    ) -> RunSummary {
+        let mut sink = RecordBuffer::new(&mut scratch.records);
+        match spec.workload {
+            FleetWorkload::Mpeg(kind) => {
+                self.mpeg
+                    .run_into(kind, spec.cycles, self.jitter, spec.seed, None, &mut sink)
+            }
+            FleetWorkload::Audio => {
+                let manager = LookupManager::new(&self.audio_regions);
+                let mut exec = self.audio.exec(self.jitter, spec.seed);
+                Engine::new(self.audio.system(), manager, overhead::regions()).run_cycles(
+                    spec.cycles,
+                    self.audio.config().cycle_period,
+                    CycleChaining::WorkConserving,
+                    &mut exec,
+                    &mut sink,
+                )
+            }
+        }
+    }
+
+    /// Run the fleet on `workers` threads.
+    pub fn run(&self, specs: &[StreamSpec<FleetWorkload>], workers: usize) -> FleetSummary {
+        FleetRunner::new(workers).run(specs, |spec, scratch| self.run_stream(spec, scratch))
+    }
+
+    /// The serial reference: a plain loop over the specs with no
+    /// [`FleetRunner`] involved, folded with [`FleetSummary::from_streams`].
+    /// Every fleet result must be byte-identical to this.
+    pub fn run_serial(&self, specs: &[StreamSpec<FleetWorkload>]) -> FleetSummary {
+        let mut scratch = StreamScratch::default();
+        FleetSummary::from_streams(
+            specs
+                .iter()
+                .map(|spec| {
+                    scratch.records.clear();
+                    self.run_stream(spec, &mut scratch)
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_exp() -> FleetExperiment {
+        // Tiny MPEG config to keep test runtime low; same structure.
+        let mpeg = PaperExperiment::with_config_and_rho(
+            EncoderConfig::tiny(3),
+            StepSet::new(vec![1, 2, 3, 4]).unwrap(),
+        );
+        let audio = AudioCodec::new(AudioConfig::tiny(3)).unwrap();
+        let audio_regions = compile_regions(audio.system());
+        FleetExperiment {
+            mpeg,
+            audio,
+            audio_regions,
+            jitter: 0.1,
+        }
+    }
+
+    #[test]
+    fn fleet_matches_serial_reference_for_all_worker_counts() {
+        let exp = tiny_exp();
+        let specs = exp.mixed_specs(8, 2);
+        let serial = exp.run_serial(&specs);
+        assert_eq!(serial.n_streams(), 8);
+        for workers in 1..=6 {
+            assert_eq!(serial, exp.run(&specs, workers), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn mixed_fleet_is_miss_free_and_covers_all_workloads() {
+        let exp = tiny_exp();
+        let specs = exp.mixed_specs(8, 2);
+        let labels: Vec<_> = specs.iter().map(|s| s.workload.label()).collect();
+        assert!(labels.contains(&"mpeg/numeric"));
+        assert!(labels.contains(&"audio/regions"));
+        let fleet = exp.run(&specs, 4);
+        assert!(fleet.miss_free(), "every stream honours its deadlines");
+        assert_eq!(fleet.aggregate().cycles, 16);
+        assert!(fleet.aggregate().overhead_ratio() > 0.0);
+    }
+
+    #[test]
+    fn virtual_speedup_scales_with_workers() {
+        let exp = tiny_exp();
+        let fleet = exp.run_serial(&exp.mixed_specs(16, 2));
+        let s4 = fleet.virtual_speedup(4);
+        assert!(
+            s4 >= 2.0,
+            "≥2× aggregate throughput at 4 workers, got {s4:.2}×"
+        );
+        assert!(fleet.virtual_speedup(2) >= 1.5);
+        assert!(fleet.virtual_speedup(1) == 1.0);
+    }
+}

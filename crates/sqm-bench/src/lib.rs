@@ -6,11 +6,25 @@
 //! the Criterion benches (`cargo bench -p sqm-bench`) measure host-side
 //! costs of the Quality Manager implementations, the offline compiler, the
 //! policies and the encoder kernels.
+//!
+//! Module map:
+//!
+//! * [`harness`] — the single-stream paper experiment: encoder + compiled
+//!   tables + the three §4.1 managers, all routed through the shared
+//!   `sqm_core::engine`.
+//! * [`fleet`] — the multi-stream workload: many independent MPEG/audio
+//!   streams sharded over `sqm_core::fleet` workers against one set of
+//!   compiled tables (`cargo run -p sqm-bench --release --bin
+//!   bench_fleet` emits `BENCH_fleet.json`, the perf trajectory's
+//!   multi-stream point next to `BENCH_baseline.json`).
+//! * [`report`] — ASCII tables/plots for the figure binaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod harness;
 pub mod report;
 
+pub use fleet::{FleetExperiment, FleetWorkload};
 pub use harness::{run_paper_experiment, ExperimentResult, ManagerKind, PaperExperiment};

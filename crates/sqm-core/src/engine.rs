@@ -271,6 +271,26 @@ impl RunSummary {
         self.last_end = c.end;
     }
 
+    /// Fold another run's aggregates into this one — the reduction step of
+    /// sharded execution ([`crate::fleet`]): each worker accumulates its
+    /// own `RunSummary`, and the fleet merges them in a deterministic
+    /// order afterwards.
+    ///
+    /// All counters add; `last_end` keeps the later of the two completion
+    /// times (the merged runs are concurrent, not consecutive).
+    pub fn merge(&mut self, other: &RunSummary) {
+        self.cycles += other.cycles;
+        self.actions += other.actions;
+        self.qm_calls += other.qm_calls;
+        self.qm_work += other.qm_work;
+        self.qm_overhead += other.qm_overhead;
+        self.busy += other.busy;
+        self.quality_sum += other.quality_sum;
+        self.misses += other.misses;
+        self.infeasible += other.infeasible;
+        self.last_end = self.last_end.max(other.last_end);
+    }
+
     /// Mean quality level over all actions.
     pub fn avg_quality(&self) -> f64 {
         mean_quality(self.quality_sum, self.actions)
@@ -297,6 +317,43 @@ pub enum CycleChaining {
 /// The shared engine: composes `PS ‖ Γ` under an overhead model and runs
 /// cycles against any execution-time source, streaming records into any
 /// sink. Construction is cheap; all state lives in the manager.
+///
+/// # Examples
+///
+/// One decide → charge-overhead → execute → check-deadline run over a
+/// three-action system, aggregating in place (no trace materialized):
+///
+/// ```
+/// use sqm_core::controller::{ConstantExec, OverheadModel};
+/// use sqm_core::engine::{CycleChaining, Engine, NullSink};
+/// use sqm_core::manager::NumericManager;
+/// use sqm_core::policy::MixedPolicy;
+/// use sqm_core::system::SystemBuilder;
+/// use sqm_core::time::Time;
+///
+/// let sys = SystemBuilder::new(2)
+///     .action("decode", &[100, 200], &[60, 120])
+///     .action("transform", &[150, 300], &[90, 180])
+///     .action("render", &[100, 200], &[60, 120])
+///     .deadline_last(Time::from_ns(700))
+///     .build()
+///     .unwrap();
+/// let policy = MixedPolicy::new(&sys);
+/// let manager = NumericManager::new(&sys, &policy);
+///
+/// let mut engine = Engine::new(&sys, manager, OverheadModel::ZERO);
+/// let run = engine.run_cycles(
+///     10,
+///     Time::from_ns(700),
+///     CycleChaining::WorkConserving,
+///     &mut ConstantExec::average(sys.table()),
+///     &mut NullSink,
+/// );
+///
+/// assert_eq!(run.cycles, 10);
+/// assert_eq!(run.actions, 30);
+/// assert_eq!(run.misses, 0, "the controller never misses a deadline");
+/// ```
 pub struct Engine<'a, M: QualityManager> {
     sys: &'a ParameterizedSystem,
     manager: M,

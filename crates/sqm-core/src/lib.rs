@@ -33,6 +33,19 @@
 //! 7. **Controller** — [`controller`]: the execution-time sources and the
 //!    overhead model, plus the trace-building `CycleRunner` /
 //!    `CyclicRunner` shells over the engine.
+//! 8. **Fleet** — [`fleet`]: sharded multi-stream execution. Each worker
+//!    thread owns complete [`engine::Engine`] runs (own virtual clock, own
+//!    [`engine::RunSummary`]); a [`fleet::FleetRunner`] distributes
+//!    [`fleet::StreamSpec`]s over scoped threads and merges the results in
+//!    deterministic submission order into a [`fleet::FleetSummary`].
+//!
+//! The engine seam — how 6–8 fit together: a
+//! [`manager::QualityManager`] makes the decisions, an
+//! [`controller::ExecutionTimeSource`] supplies the actual times, and a
+//! [`engine::TraceSink`] receives the records; [`engine::Engine`] is
+//! generic over all three, so every pairing monomorphizes to its own
+//! straight-line loop, and every runner in the workspace — including each
+//! fleet worker — is a thin shell over that one loop.
 //!
 //! Extensions from the paper's conclusion: [`multi`] (multiple statically
 //! interleaved tasks and their engine-backed `MultiTaskRunner`) and
@@ -48,6 +61,7 @@ pub mod compiler;
 pub mod controller;
 pub mod engine;
 pub mod error;
+pub mod fleet;
 pub mod manager;
 mod manager_smooth;
 pub mod multi;
@@ -67,7 +81,10 @@ pub mod trace;
 /// Convenient glob import for examples and tests.
 pub mod prelude {
     pub use crate::action::{ActionId, ActionInfo, DeadlineMap};
-    pub use crate::compiler::{compile_regions, compile_relaxation, Compiled, TableStats};
+    pub use crate::compiler::{
+        compile_regions, compile_regions_parallel, compile_relaxation, compile_relaxation_parallel,
+        Compiled, TableStats,
+    };
     pub use crate::controller::{
         ConstantExec, CycleRunner, CyclicRunner, ExecutionTimeSource, FnExec, OverheadModel,
     };
@@ -75,6 +92,7 @@ pub mod prelude {
         CycleChaining, CycleSummary, Engine, NullSink, RecordBuffer, RunSummary, TraceSink,
     };
     pub use crate::error::{BuildError, ParseError};
+    pub use crate::fleet::{FleetRunner, FleetSummary, StreamScratch, StreamSpec};
     pub use crate::manager::{
         Decision, LookupManager, NumericManager, QualityManager, RelaxedManager, SmoothedManager,
     };

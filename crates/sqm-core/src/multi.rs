@@ -186,6 +186,16 @@ impl TaskSummary {
     pub fn avg_quality(&self) -> f64 {
         crate::engine::mean_quality(self.quality_sum, self.actions)
     }
+
+    /// Fold another run's per-task aggregates into this one — the
+    /// multi-task counterpart of [`crate::engine::RunSummary::merge`],
+    /// used when independent streams of the *same* interleaving run on a
+    /// [`crate::fleet`] and their per-task attributions are combined.
+    pub fn merge(&mut self, other: &TaskSummary) {
+        self.actions += other.actions;
+        self.quality_sum += other.quality_sum;
+        self.misses += other.misses;
+    }
 }
 
 /// Sink splitting the merged record stream into per-task aggregates via
@@ -223,6 +233,53 @@ impl<S: TraceSink> TraceSink for TaskSplitter<'_, S> {
 /// plain runners cannot: per-task quality/miss accounting collected during
 /// execution, with the same zero-per-action-allocation guarantee as the
 /// engine itself.
+///
+/// # Examples
+///
+/// Interleave two tasks round-robin, run three merged cycles, and read
+/// the per-task attribution:
+///
+/// ```
+/// use sqm_core::controller::{ConstantExec, OverheadModel};
+/// use sqm_core::manager::NumericManager;
+/// use sqm_core::multi::{interleave, MultiTaskRunner};
+/// use sqm_core::policy::MixedPolicy;
+/// use sqm_core::system::SystemBuilder;
+/// use sqm_core::time::Time;
+///
+/// let video = SystemBuilder::new(2)
+///     .action("v0", &[100, 180], &[50, 90])
+///     .action("v1", &[100, 180], &[50, 90])
+///     .deadline_last(Time::from_ns(900))
+///     .build()
+///     .unwrap();
+/// let audio = SystemBuilder::new(2)
+///     .action("s0", &[40, 70], &[20, 35])
+///     .deadline_last(Time::from_ns(800))
+///     .build()
+///     .unwrap();
+///
+/// let merged = interleave(&[&video, &audio], &[]).unwrap();
+/// let policy = MixedPolicy::new(&merged.system);
+/// let mut runner = MultiTaskRunner::new(
+///     &merged,
+///     NumericManager::new(&merged.system, &policy),
+///     OverheadModel::ZERO,
+///     Time::from_ns(900),
+/// );
+///
+/// let run = runner.run_into(
+///     3,
+///     &mut ConstantExec::average(merged.system.table()),
+///     &mut sqm_core::engine::NullSink,
+/// );
+/// assert_eq!(run.cycles, 3);
+///
+/// let tasks = runner.task_summaries();
+/// assert_eq!(tasks[0].actions, 6, "2 video actions × 3 cycles");
+/// assert_eq!(tasks[1].actions, 3, "1 audio action × 3 cycles");
+/// assert_eq!(tasks[0].misses + tasks[1].misses, run.misses);
+/// ```
 pub struct MultiTaskRunner<'a, M: QualityManager> {
     interleaved: &'a Interleaved,
     engine: Engine<'a, M>,
@@ -528,6 +585,54 @@ mod tests {
         let trace = runner.run(2, &mut ConstantExec::worst_case(m.system.table()));
         for (a, b) in legacy.cycles.iter().zip(&trace.cycles) {
             assert_eq!(a.records, b.records);
+        }
+    }
+
+    #[test]
+    fn task_summary_merge_combines_independent_streams() {
+        use crate::controller::{ConstantExec, OverheadModel};
+        use crate::manager::NumericManager;
+        use crate::policy::MixedPolicy;
+        // Two independent streams of the same interleaving (e.g. two fleet
+        // shards): merging their per-task attributions must equal the sum
+        // of every field, and leave derived stats consistent.
+        let t0 = task(3, 150);
+        let t1 = task(2, 160);
+        let m = interleave(&[&t0, &t1], &[]).unwrap();
+        let p = MixedPolicy::new(&m.system);
+        let period = Time::from_ns(160);
+        let run = |cycles: usize, worst: bool| -> Vec<TaskSummary> {
+            let mut runner = MultiTaskRunner::new(
+                &m,
+                NumericManager::new(&m.system, &p),
+                OverheadModel::ZERO,
+                period,
+            );
+            let mut exec = if worst {
+                ConstantExec::worst_case(m.system.table())
+            } else {
+                ConstantExec::average(m.system.table())
+            };
+            runner.run(cycles, &mut exec);
+            runner.task_summaries().to_vec()
+        };
+        let a = run(2, false);
+        let b = run(3, true);
+        let mut merged = a.clone();
+        for (m_t, b_t) in merged.iter_mut().zip(&b) {
+            m_t.merge(b_t);
+        }
+        for ((m_t, a_t), b_t) in merged.iter().zip(&a).zip(&b) {
+            assert_eq!(m_t.actions, a_t.actions + b_t.actions);
+            assert_eq!(m_t.quality_sum, a_t.quality_sum + b_t.quality_sum);
+            assert_eq!(m_t.misses, a_t.misses + b_t.misses);
+            assert!(
+                (m_t.avg_quality()
+                    - (a_t.quality_sum + b_t.quality_sum) as f64
+                        / (a_t.actions + b_t.actions) as f64)
+                    .abs()
+                    < 1e-12
+            );
         }
     }
 

@@ -209,6 +209,37 @@ impl Trace {
     pub fn total_actions(&self) -> usize {
         self.cycles.iter().map(|c| c.records.len()).sum()
     }
+
+    /// Reconstruct the engine's in-place aggregates from a materialized
+    /// trace: `engine.run_cycles(…, &mut trace)` followed by
+    /// `trace.run_summary()` yields exactly the [`RunSummary`] the engine
+    /// returned. Lets recorded streams (e.g. one shard of a
+    /// [`crate::fleet`] run) feed the same merge path as summary-only
+    /// streams.
+    ///
+    /// [`RunSummary`]: crate::engine::RunSummary
+    pub fn run_summary(&self) -> crate::engine::RunSummary {
+        let mut run = crate::engine::RunSummary::default();
+        for c in &self.cycles {
+            run.cycles += 1;
+            let mut end = c.start;
+            for r in &c.records {
+                run.actions += 1;
+                if r.decided {
+                    run.qm_calls += 1;
+                    run.qm_work += r.qm_work;
+                    run.qm_overhead += r.qm_overhead;
+                }
+                run.busy += r.duration;
+                run.quality_sum += r.quality.index() as u64;
+                run.misses += usize::from(r.missed_deadline);
+                run.infeasible += usize::from(r.infeasible);
+                end = r.end;
+            }
+            run.last_end = end;
+        }
+        run
+    }
 }
 
 #[cfg(test)]

@@ -11,9 +11,12 @@
 //!   managers — all executed by one shared engine (`core::engine`): a
 //!   monomorphized, allocation-free decide → charge-overhead → execute →
 //!   check-deadline loop that every runner (single-task, cyclic,
-//!   multi-task, bench harness) routes through, streaming records into
-//!   pluggable sinks (full traces, caller-provided buffers, or in-place
-//!   summaries).
+//!   multi-task, fleet worker, bench harness) routes through, streaming
+//!   records into pluggable sinks (full traces, caller-provided buffers,
+//!   or in-place summaries).
+//! * [`fleet`] (also `core::fleet`) — sharded multi-stream execution:
+//!   many independent engine streams distributed over scoped OS threads,
+//!   merged deterministically into per-stream and aggregate summaries.
 //! * [`platform`] — a virtual execution platform (virtual clock, stochastic
 //!   execution-time models bounded by `Cwc`, profiler, calibrated QM
 //!   overhead models, fault injection).
@@ -24,9 +27,33 @@
 //! * [`audio`] — a second application domain: an adaptive transform audio
 //!   codec (FFT, subbands, psychoacoustic bit allocation).
 //!
+//! See `ARCHITECTURE.md` at the repository root for how the layers stack
+//! (workloads → managers → engine → fleet → bench).
+//!
+//! ## The engine seam
+//!
+//! Everything that executes goes through one triad of traits:
+//!
+//! * a **[`core::manager::QualityManager`]** decides the quality of the
+//!   next action(s) — numeric (recompute the policy), lookup (probe the
+//!   compiled region table), or relaxed (skip decisions inside a
+//!   relaxation interval);
+//! * an **[`core::controller::ExecutionTimeSource`]** supplies each
+//!   action's actual execution time — constant, stochastic, or
+//!   content-driven by a workload crate;
+//! * a **[`core::engine::TraceSink`]** receives what happened — a full
+//!   trace, a reusable caller-owned buffer, in-place summaries, or
+//!   nothing.
+//!
+//! [`core::engine::Engine`] is generic over all three, so each
+//! combination monomorphizes to its own straight-line hot loop. The
+//! `fleet` layer scales *out* on the same seam: one engine per stream,
+//! one worker thread per shard, zero shared mutable state.
+//!
 //! The experiment harness and figure/table binaries live in the
 //! (unre-exported) `sqm-bench` crate; `cargo run -p sqm-bench --release
-//! --bin bench_baseline` emits the workspace's performance baseline.
+//! --bin bench_baseline` emits the workspace's performance baseline and
+//! `… --bin bench_fleet` the multi-stream scaling point next to it.
 //!
 //! ## Quickstart
 //!
@@ -47,10 +74,47 @@
 //! let d = qm.decide(0, Time::ZERO);
 //! assert!(d.quality.index() <= 1);
 //! ```
+//!
+//! ## Sharding streams
+//!
+//! ```
+//! use speed_qm::core::controller::{ConstantExec, OverheadModel};
+//! use speed_qm::core::engine::{CycleChaining, Engine, NullSink};
+//! use speed_qm::core::manager::NumericManager;
+//! use speed_qm::core::policy::MixedPolicy;
+//! use speed_qm::core::system::SystemBuilder;
+//! use speed_qm::core::time::Time;
+//! use speed_qm::fleet::{FleetRunner, StreamSpec};
+//!
+//! let system = SystemBuilder::new(2)
+//!     .action("decode", &[100, 200], &[60, 120])
+//!     .action("render", &[100, 200], &[60, 120])
+//!     .deadline_last(Time::from_ns(500))
+//!     .build()
+//!     .unwrap();
+//! let policy = MixedPolicy::new(&system);
+//!
+//! let specs: Vec<StreamSpec<()>> = (0..8)
+//!     .map(|seed| StreamSpec { workload: (), seed, cycles: 4 })
+//!     .collect();
+//! let fleet = FleetRunner::new(4).run(&specs, |spec, _scratch| {
+//!     Engine::new(&system, NumericManager::new(&system, &policy), OverheadModel::ZERO)
+//!         .run_cycles(
+//!             spec.cycles,
+//!             Time::from_ns(500),
+//!             CycleChaining::WorkConserving,
+//!             &mut ConstantExec::average(system.table()),
+//!             &mut NullSink,
+//!         )
+//! });
+//! assert_eq!(fleet.aggregate().cycles, 32);
+//! assert!(fleet.miss_free());
+//! ```
 #![forbid(unsafe_code)]
 
 pub use sqm_audio as audio;
 pub use sqm_core as core;
+pub use sqm_core::fleet;
 pub use sqm_mpeg as mpeg;
 pub use sqm_platform as platform;
 pub use sqm_power as power;

@@ -1,0 +1,112 @@
+//! Property test for the fleet layer: sharding is a pure reorganisation of
+//! work. For any feasible system and any admissible per-stream actual
+//! times, a [`FleetRunner`] with 1..=8 workers produces a byte-identical
+//! [`FleetSummary`] to running the same [`StreamSpec`]s serially — the
+//! same shape as `compiler::parallel_matches_serial`, lifted from tables
+//! to whole runs.
+
+mod common;
+
+use common::arb_system;
+use proptest::prelude::*;
+use speed_qm::core::prelude::*;
+
+/// Drive one stream: a numeric manager over the shared system, actual
+/// times a deterministic function of the stream's seed (admissible by
+/// construction: always ≤ `Cwc`).
+fn drive(
+    sys: &ParameterizedSystem,
+    policy: &MixedPolicy,
+    fractions: &[f64],
+    spec: &StreamSpec<()>,
+    scratch: &mut StreamScratch,
+) -> RunSummary {
+    let manager = NumericManager::new(sys, policy);
+    let mut sink = RecordBuffer::new(&mut scratch.records);
+    let n = fractions.len();
+    Engine::new(
+        sys,
+        manager,
+        OverheadModel::new(Time::from_ns(2), Time::from_ns(1)),
+    )
+    .run_cycles(
+        spec.cycles,
+        sys.final_deadline(),
+        CycleChaining::WorkConserving,
+        &mut FnExec(|cycle: usize, action: usize, q: Quality| {
+            let wc = sys.table().wc(action, q).as_ns() as f64;
+            let f = fractions[(action + cycle + spec.seed as usize) % n];
+            Time::from_ns((wc * f).floor() as i64)
+        }),
+        &mut sink,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FleetRunner(workers).run ≡ serial loop, byte for byte, for every
+    /// worker count 1..=8 — thread scheduling never leaks into results.
+    #[test]
+    fn fleet_matches_serial_for_all_worker_counts(
+        arb in arb_system(),
+        n_streams in 1usize..10,
+        cycles in 1usize..4,
+    ) {
+        let sys = &arb.system;
+        let policy = MixedPolicy::new(sys);
+        let specs: Vec<StreamSpec<()>> = (0..n_streams)
+            .map(|i| StreamSpec { workload: (), seed: i as u64 * 31, cycles })
+            .collect();
+
+        // Serial reference: no FleetRunner involved.
+        let mut scratch = StreamScratch::default();
+        let serial = FleetSummary::from_streams(
+            specs
+                .iter()
+                .map(|spec| {
+                    scratch.records.clear();
+                    drive(sys, &policy, &arb.fractions, spec, &mut scratch)
+                })
+                .collect(),
+        );
+
+        for workers in 1..=8 {
+            let fleet = FleetRunner::new(workers).run(&specs, |spec, scratch| {
+                drive(sys, &policy, &arb.fractions, spec, scratch)
+            });
+            prop_assert_eq!(&serial, &fleet, "workers = {}", workers);
+        }
+
+        // The aggregate is exactly the merge of the per-stream summaries.
+        let mut merged = RunSummary::default();
+        for s in serial.per_stream() {
+            merged.merge(s);
+        }
+        prop_assert_eq!(&merged, serial.aggregate());
+    }
+
+    /// A recorded stream feeds the same merge path as a summary-only
+    /// stream: reconstructing the RunSummary from a materialized trace
+    /// equals the engine's in-place aggregates.
+    #[test]
+    fn trace_run_summary_equals_engine_summary(arb in arb_system()) {
+        let sys = &arb.system;
+        let policy = MixedPolicy::new(sys);
+        let manager = NumericManager::new(sys, &policy);
+        let mut trace = speed_qm::core::trace::Trace::default();
+        let n = arb.fractions.len();
+        let summary = Engine::new(sys, manager, OverheadModel::new(Time::from_ns(2), Time::from_ns(1)))
+            .run_cycles(
+                3,
+                sys.final_deadline(),
+                CycleChaining::WorkConserving,
+                &mut FnExec(|cycle: usize, action: usize, q: Quality| {
+                    let wc = sys.table().wc(action, q).as_ns() as f64;
+                    Time::from_ns((wc * arb.fractions[(action + cycle) % n]).floor() as i64)
+                }),
+                &mut trace,
+            );
+        prop_assert_eq!(summary, trace.run_summary());
+    }
+}
