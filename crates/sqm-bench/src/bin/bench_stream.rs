@@ -1,0 +1,155 @@
+//! Emit `BENCH_stream.json` — the third point of the workspace's
+//! performance trajectory, next to `BENCH_baseline.json` (single-stream
+//! cost) and `BENCH_fleet.json` (multi-stream throughput).
+//!
+//! This point measures **live operation**: the encoder fed from
+//! event-driven arrival sources (`sqm_core::source`) through the
+//! bounded-backlog streaming front-end (`sqm_core::stream`) instead of
+//! the closed loop. For each arrival pattern it reports the quantities
+//! the closed loop cannot express — backlog depth, arrival-to-start wait,
+//! arrival-to-completion latency, and deliberate overload shedding — in
+//! the deterministic virtual-time domain (stable across hosts), plus host
+//! wall-clock per scenario (machine-dependent; track deltas).
+//!
+//! The binary pins correctness before publishing numbers: a periodic
+//! source under the `Block` policy must be **byte-identical** to
+//! `Engine::run_cycles` under both `CycleChaining` variants.
+//!
+//! ```text
+//! cargo run -p sqm-bench --release --bin bench_stream [out.json]
+//! ```
+
+use std::time::Instant;
+
+use sqm_bench::{ManagerKind, StreamingExperiment};
+use sqm_core::engine::{CycleChaining, NullSink};
+use sqm_core::source::Periodic;
+use sqm_core::stream::{OverloadPolicy, StreamConfig};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_stream.json".to_string());
+
+    let exp = StreamingExperiment::small(7);
+    let frames = 24;
+    let exec_seed = 11;
+    let kind = ManagerKind::Regions;
+
+    // Correctness gate: streaming(Periodic, Block) ≡ the closed loop,
+    // byte for byte, under both chaining variants.
+    for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
+        let closed = exp.closed_reference(kind, chaining, frames, exec_seed);
+        let streamed = exp.mpeg().run_stream_into(
+            kind,
+            exp.jitter(),
+            exec_seed,
+            StreamConfig {
+                chaining,
+                capacity: 4,
+                policy: OverloadPolicy::Block,
+            },
+            &mut Periodic::new(exp.period(), frames),
+            &mut NullSink,
+        );
+        assert_eq!(
+            streamed.run, closed,
+            "periodic+Block streaming must be byte-identical to the closed loop ({chaining:?})"
+        );
+        println!("identity check: streaming(Periodic, Block) == closed loop under {chaining:?} ✓");
+    }
+
+    let mut entries = Vec::new();
+    let mut patterns_with_stats = 0usize;
+    for scenario in StreamingExperiment::scenarios() {
+        // Warm-up, then time the scenario on the host clock.
+        let _ = exp.run_scenario(kind, &scenario, frames, exec_seed);
+        let t0 = Instant::now();
+        let out = exp.run_scenario(kind, &scenario, frames, exec_seed);
+        let host_ns = t0.elapsed().as_nanos() as f64;
+
+        let s = out.stats;
+        let r = out.run;
+        println!(
+            "{:32} arrived {:3}  processed {:3}  dropped {:2}  max_backlog {:2}  \
+             avg_wait {:8.0} ns  max_latency {:8} ns  misses {}",
+            scenario.name,
+            s.arrived,
+            s.processed,
+            s.dropped,
+            s.max_backlog,
+            s.avg_wait_ns(),
+            s.max_latency.as_ns(),
+            r.misses,
+        );
+        patterns_with_stats += 1;
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"scenario\": \"{}\",\n",
+                "      \"arrival\": \"{}\",\n",
+                "      \"policy\": \"{}\",\n",
+                "      \"period_pct\": {},\n",
+                "      \"capacity\": {},\n",
+                "      \"arrived\": {},\n",
+                "      \"processed\": {},\n",
+                "      \"dropped\": {},\n",
+                "      \"drop_rate\": {:.4},\n",
+                "      \"max_backlog\": {},\n",
+                "      \"avg_wait_ns\": {:.1},\n",
+                "      \"max_wait_ns\": {},\n",
+                "      \"avg_latency_ns\": {:.1},\n",
+                "      \"max_latency_ns\": {},\n",
+                "      \"makespan_ns\": {},\n",
+                "      \"avg_quality\": {:.4},\n",
+                "      \"qm_overhead_percent\": {:.4},\n",
+                "      \"deadline_misses\": {},\n",
+                "      \"host_wall_ns\": {:.0}\n",
+                "    }}"
+            ),
+            scenario.name,
+            scenario.arrival.label(),
+            scenario.policy.label(),
+            scenario.period_pct,
+            scenario.capacity,
+            s.arrived,
+            s.processed,
+            s.dropped,
+            s.drop_rate(),
+            s.max_backlog,
+            s.avg_wait_ns(),
+            s.max_wait.as_ns(),
+            s.avg_latency_ns(),
+            s.max_latency.as_ns(),
+            s.makespan.as_ns(),
+            r.avg_quality(),
+            r.overhead_ratio() * 100.0,
+            r.misses,
+            host_ns,
+        ));
+    }
+
+    assert!(
+        patterns_with_stats >= 3,
+        "acceptance: backlog/latency stats for at least 3 arrival patterns"
+    );
+    println!("acceptance check: {patterns_with_stats} scenarios with backlog/latency stats (≥3) ✓");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"speed-qm/bench-stream/v1\",\n",
+            "  \"config\": \"StreamingExperiment::small(7), {} frames, regions manager, arrival-clamped\",\n",
+            "  \"note\": \"virtual-time stats (waits/latencies/backlog) are deterministic; host_wall_ns is machine-dependent (track deltas, not absolutes)\",\n",
+            "  \"periodic_block_byte_identical_to_closed_loop\": true,\n",
+            "  \"scenarios\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        frames,
+        entries.join(",\n")
+    );
+
+    std::fs::write(&out_path, &json).expect("write streaming bench json");
+    println!("wrote {out_path}");
+    print!("{json}");
+}

@@ -17,6 +17,8 @@ use sqm_core::fleet::{FleetRunner, FleetSummary, StreamScratch, StreamSpec};
 use sqm_core::manager::LookupManager;
 use sqm_core::regions::QualityRegionTable;
 use sqm_core::relaxation::StepSet;
+use sqm_core::source::ArrivalSpec;
+use sqm_core::stream::{OverloadPolicy, StreamConfig, StreamingRunner};
 use sqm_mpeg::EncoderConfig;
 use sqm_platform::overhead;
 
@@ -50,6 +52,8 @@ pub struct FleetExperiment {
     audio: AudioCodec,
     audio_regions: QualityRegionTable,
     jitter: f64,
+    capacity: usize,
+    policy: OverloadPolicy,
 }
 
 impl FleetExperiment {
@@ -68,6 +72,41 @@ impl FleetExperiment {
             audio,
             audio_regions,
             jitter: 0.1,
+            capacity: 4,
+            policy: OverloadPolicy::Block,
+        }
+    }
+
+    /// Switch every stream (closed-loop and event-sourced alike) to the
+    /// given cycle-chaining mode — `ArrivalClamped` is the live-capture
+    /// fleet. The wrapped [`PaperExperiment`]'s `chaining` field is the
+    /// single source of truth; [`FleetExperiment::chaining`] reads it
+    /// back.
+    pub fn with_chaining(mut self, chaining: CycleChaining) -> FleetExperiment {
+        self.mpeg = self.mpeg.with_chaining(chaining);
+        self
+    }
+
+    /// The chaining mode every stream of this fleet runs under.
+    pub fn chaining(&self) -> CycleChaining {
+        self.mpeg.chaining
+    }
+
+    /// Configure the backlog bound and overload policy used by
+    /// event-sourced streams (specs whose [`StreamSpec::arrival`] is not
+    /// [`ArrivalSpec::Closed`]).
+    pub fn with_overload(mut self, capacity: usize, policy: OverloadPolicy) -> FleetExperiment {
+        self.capacity = capacity;
+        self.policy = policy;
+        self
+    }
+
+    /// The stream configuration event-sourced streams run under.
+    pub fn stream_config(&self) -> StreamConfig {
+        StreamConfig {
+            chaining: self.chaining(),
+            capacity: self.capacity,
+            policy: self.policy,
         }
     }
 
@@ -92,40 +131,88 @@ impl FleetExperiment {
             FleetWorkload::Audio,
         ];
         (0..streams)
-            .map(|i| StreamSpec {
-                workload: KINDS[i % KINDS.len()],
-                seed: 100 + i as u64,
-                cycles,
-            })
+            .map(|i| StreamSpec::new(KINDS[i % KINDS.len()], 100 + i as u64, cycles))
+            .collect()
+    }
+
+    /// The mixed spec list with event-driven arrivals layered on top:
+    /// streams round-robin over periodic, jittered and bursty sources
+    /// (plus one closed-loop stream in four as the control group).
+    pub fn streaming_specs(&self, streams: usize, cycles: usize) -> Vec<StreamSpec<FleetWorkload>> {
+        const PATTERNS: [ArrivalSpec; 4] = [
+            ArrivalSpec::Closed,
+            ArrivalSpec::Periodic,
+            ArrivalSpec::Jittered { jitter_pct: 25 },
+            ArrivalSpec::Bursty { max_burst: 4 },
+        ];
+        self.mixed_specs(streams, cycles)
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| spec.with_arrival(PATTERNS[i % PATTERNS.len()]))
             .collect()
     }
 
     /// Run one stream to completion, recording its actions into the
     /// worker's reusable scratch buffer. This is the `drive` closure body
     /// of every fleet path and the serial reference path alike, so the two
-    /// are identical by construction.
+    /// are identical by construction. Specs with an event source
+    /// ([`StreamSpec::arrival`] ≠ `Closed`) route through a
+    /// [`StreamingRunner`] under [`FleetExperiment::stream_config`];
+    /// closed-loop specs run the engine's own chaining.
     pub fn run_stream(
         &self,
         spec: &StreamSpec<FleetWorkload>,
         scratch: &mut StreamScratch,
     ) -> RunSummary {
         let mut sink = RecordBuffer::new(&mut scratch.records);
-        match spec.workload {
-            FleetWorkload::Mpeg(kind) => {
-                self.mpeg
-                    .run_into(kind, spec.cycles, self.jitter, spec.seed, None, &mut sink)
-            }
-            FleetWorkload::Audio => {
-                let manager = LookupManager::new(&self.audio_regions);
-                let mut exec = self.audio.exec(self.jitter, spec.seed);
-                Engine::new(self.audio.system(), manager, overhead::regions()).run_cycles(
-                    spec.cycles,
-                    self.audio.config().cycle_period,
-                    CycleChaining::WorkConserving,
-                    &mut exec,
-                    &mut sink,
-                )
-            }
+        let (period, frames) = match spec.workload {
+            FleetWorkload::Mpeg(_) => (self.mpeg.encoder.config().frame_period, spec.cycles),
+            FleetWorkload::Audio => (self.audio.config().cycle_period, spec.cycles),
+        };
+        match spec.arrival.build(period, frames, spec.seed) {
+            None => match spec.workload {
+                FleetWorkload::Mpeg(kind) => {
+                    self.mpeg
+                        .run_into(kind, spec.cycles, self.jitter, spec.seed, None, &mut sink)
+                }
+                FleetWorkload::Audio => {
+                    let manager = LookupManager::new(&self.audio_regions);
+                    let mut exec = self.audio.exec(self.jitter, spec.seed);
+                    Engine::new(self.audio.system(), manager, overhead::regions()).run_cycles(
+                        spec.cycles,
+                        self.audio.config().cycle_period,
+                        self.chaining(),
+                        &mut exec,
+                        &mut sink,
+                    )
+                }
+            },
+            Some(mut source) => match spec.workload {
+                FleetWorkload::Mpeg(kind) => {
+                    self.mpeg
+                        .run_stream_into(
+                            kind,
+                            self.jitter,
+                            spec.seed,
+                            self.stream_config(),
+                            &mut source,
+                            &mut sink,
+                        )
+                        .run
+                }
+                FleetWorkload::Audio => {
+                    let manager = LookupManager::new(&self.audio_regions);
+                    let mut exec = self.audio.exec(self.jitter, spec.seed);
+                    StreamingRunner::new(self.stream_config())
+                        .run(
+                            &mut Engine::new(self.audio.system(), manager, overhead::regions()),
+                            &mut source,
+                            &mut exec,
+                            &mut sink,
+                        )
+                        .run
+                }
+            },
         }
     }
 
@@ -168,6 +255,8 @@ mod tests {
             audio,
             audio_regions,
             jitter: 0.1,
+            capacity: 4,
+            policy: OverloadPolicy::Block,
         }
     }
 
@@ -193,6 +282,53 @@ mod tests {
         assert!(fleet.miss_free(), "every stream honours its deadlines");
         assert_eq!(fleet.aggregate().cycles, 16);
         assert!(fleet.aggregate().overhead_ratio() > 0.0);
+    }
+
+    /// A periodic event source under the Block policy is a drop-in for
+    /// the closed loop, stream by stream, under both chaining modes.
+    #[test]
+    fn periodic_streams_match_closed_loop_per_stream() {
+        for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
+            let exp = tiny_exp().with_chaining(chaining);
+            let closed = exp.mixed_specs(4, 2);
+            let periodic: Vec<_> = closed
+                .iter()
+                .map(|s| s.with_arrival(ArrivalSpec::Periodic))
+                .collect();
+            assert_eq!(
+                exp.run_serial(&closed),
+                exp.run_serial(&periodic),
+                "{chaining:?}"
+            );
+        }
+    }
+
+    /// The live-capture fleet (ArrivalClamped chaining) is deterministic
+    /// across worker counts, for closed and event-sourced streams alike.
+    #[test]
+    fn arrival_clamped_fleet_is_deterministic() {
+        let exp = tiny_exp().with_chaining(CycleChaining::ArrivalClamped);
+        let specs = exp.streaming_specs(8, 2);
+        let serial = exp.run_serial(&specs);
+        for workers in 1..=6 {
+            assert_eq!(serial, exp.run(&specs, workers), "workers = {workers}");
+        }
+        // And it differs from the work-conserving fleet: the knob is live.
+        let wc = tiny_exp().run_serial(&tiny_exp().streaming_specs(8, 2));
+        assert_ne!(serial, wc);
+    }
+
+    /// Overload shedding stays deterministic across worker counts too.
+    #[test]
+    fn overloaded_streaming_fleet_is_deterministic() {
+        let exp = tiny_exp()
+            .with_chaining(CycleChaining::ArrivalClamped)
+            .with_overload(1, OverloadPolicy::SkipToLatest);
+        let specs = exp.streaming_specs(6, 3);
+        let serial = exp.run_serial(&specs);
+        for workers in [2, 4] {
+            assert_eq!(serial, exp.run(&specs, workers), "workers = {workers}");
+        }
     }
 
     #[test]

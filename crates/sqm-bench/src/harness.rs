@@ -5,10 +5,12 @@
 use sqm_core::compiler::{compile_regions, compile_relaxation};
 use sqm_core::controller::OverheadModel;
 use sqm_core::engine::{CycleChaining, Engine, NullSink, RunSummary, TraceSink};
-use sqm_core::manager::{LookupManager, NumericManager, QualityManager, RelaxedManager};
+use sqm_core::manager::{LookupManager, NumericManager, RelaxedManager};
 use sqm_core::policy::MixedPolicy;
 use sqm_core::regions::QualityRegionTable;
 use sqm_core::relaxation::{RelaxationTable, StepSet};
+use sqm_core::source::ArrivalSource;
+use sqm_core::stream::{StreamConfig, StreamSummary, StreamingRunner};
 use sqm_core::trace::Trace;
 use sqm_mpeg::{EncoderConfig, MpegEncoder};
 use sqm_platform::overhead;
@@ -60,6 +62,10 @@ pub struct PaperExperiment {
     pub regions: QualityRegionTable,
     /// Compiled control relaxation regions for `ρ = {1,10,20,30,40,50}`.
     pub relaxation: RelaxationTable,
+    /// How consecutive frames chain onto the clock — the paper's file
+    /// encode ([`CycleChaining::WorkConserving`], the default) or live
+    /// capture ([`CycleChaining::ArrivalClamped`]).
+    pub chaining: CycleChaining,
 }
 
 impl PaperExperiment {
@@ -85,7 +91,15 @@ impl PaperExperiment {
             encoder,
             regions,
             relaxation,
+            chaining: CycleChaining::WorkConserving,
         }
+    }
+
+    /// The same experiment with a different cycle-chaining mode (live
+    /// capture = [`CycleChaining::ArrivalClamped`]).
+    pub fn with_chaining(mut self, chaining: CycleChaining) -> PaperExperiment {
+        self.chaining = chaining;
+        self
     }
 
     /// Run `frames` cycles under the given manager, charging its calibrated
@@ -112,40 +126,64 @@ impl PaperExperiment {
             exec = exec.with_burst(lo, hi, f);
         }
         let overhead = kind.overhead_model();
-        fn drive<M: QualityManager, X, S>(
-            sys: &sqm_core::system::ParameterizedSystem,
-            manager: M,
-            overhead: OverheadModel,
-            frames: usize,
-            period: sqm_core::time::Time,
-            exec: &mut X,
-            sink: &mut S,
-        ) -> RunSummary
-        where
-            X: sqm_core::controller::ExecutionTimeSource,
-            S: TraceSink,
-        {
-            Engine::new(sys, manager, overhead).run_cycles(
-                frames,
-                period,
-                CycleChaining::WorkConserving,
-                exec,
-                sink,
-            )
-        }
+        let shape = RunShape {
+            frames,
+            period,
+            chaining: self.chaining,
+        };
         match kind {
             ManagerKind::Numeric => {
                 let policy = MixedPolicy::new(sys);
                 let manager = NumericManager::new(sys, &policy);
-                drive(sys, manager, overhead, frames, period, &mut exec, sink)
+                drive_cycles(sys, manager, overhead, shape, &mut exec, sink)
             }
             ManagerKind::Regions => {
                 let manager = LookupManager::new(&self.regions);
-                drive(sys, manager, overhead, frames, period, &mut exec, sink)
+                drive_cycles(sys, manager, overhead, shape, &mut exec, sink)
             }
             ManagerKind::Relaxation => {
                 let manager = RelaxedManager::new(&self.regions, &self.relaxation);
-                drive(sys, manager, overhead, frames, period, &mut exec, sink)
+                drive_cycles(sys, manager, overhead, shape, &mut exec, sink)
+            }
+        }
+    }
+
+    /// Feed the encoder from an event-driven [`ArrivalSource`] instead of
+    /// the closed loop: frames are pulled through a
+    /// [`StreamingRunner`] under `config` (backlog bound, overload
+    /// policy, chaining), with the same content-driven actual times as
+    /// [`PaperExperiment::run_into`]. Returns the engine aggregates plus
+    /// the streaming-only backlog/latency stats.
+    pub fn run_stream_into<A, S>(
+        &self,
+        kind: ManagerKind,
+        jitter: f64,
+        exec_seed: u64,
+        config: StreamConfig,
+        source: &mut A,
+        sink: &mut S,
+    ) -> StreamSummary
+    where
+        A: ArrivalSource,
+        S: TraceSink,
+    {
+        let sys = self.encoder.system();
+        let mut exec = self.encoder.exec(jitter, exec_seed);
+        let overhead = kind.overhead_model();
+        let runner = StreamingRunner::new(config);
+        match kind {
+            ManagerKind::Numeric => {
+                let policy = MixedPolicy::new(sys);
+                let manager = NumericManager::new(sys, &policy);
+                drive_stream(sys, manager, overhead, runner, source, &mut exec, sink)
+            }
+            ManagerKind::Regions => {
+                let manager = LookupManager::new(&self.regions);
+                drive_stream(sys, manager, overhead, runner, source, &mut exec, sink)
+            }
+            ManagerKind::Relaxation => {
+                let manager = RelaxedManager::new(&self.regions, &self.relaxation);
+                drive_stream(sys, manager, overhead, runner, source, &mut exec, sink)
             }
         }
     }
@@ -176,6 +214,59 @@ impl PaperExperiment {
     ) -> RunSummary {
         self.run_into(kind, frames, jitter, exec_seed, burst, &mut NullSink)
     }
+}
+
+/// One closed-loop run's shape, bundled so the monomorphized drive
+/// helpers below keep a single point of change for the engine call.
+#[derive(Clone, Copy)]
+struct RunShape {
+    frames: usize,
+    period: sqm_core::time::Time,
+    chaining: CycleChaining,
+}
+
+/// The one closed-loop engine call every manager arm of
+/// [`PaperExperiment::run_into`] monomorphizes.
+fn drive_cycles<M, X, S>(
+    sys: &sqm_core::system::ParameterizedSystem,
+    manager: M,
+    overhead: OverheadModel,
+    shape: RunShape,
+    exec: &mut X,
+    sink: &mut S,
+) -> RunSummary
+where
+    M: sqm_core::manager::QualityManager,
+    X: sqm_core::controller::ExecutionTimeSource,
+    S: TraceSink,
+{
+    Engine::new(sys, manager, overhead).run_cycles(
+        shape.frames,
+        shape.period,
+        shape.chaining,
+        exec,
+        sink,
+    )
+}
+
+/// The one streaming call every manager arm of
+/// [`PaperExperiment::run_stream_into`] monomorphizes.
+fn drive_stream<M, A, X, S>(
+    sys: &sqm_core::system::ParameterizedSystem,
+    manager: M,
+    overhead: OverheadModel,
+    runner: StreamingRunner,
+    source: &mut A,
+    exec: &mut X,
+    sink: &mut S,
+) -> StreamSummary
+where
+    M: sqm_core::manager::QualityManager,
+    A: ArrivalSource,
+    X: sqm_core::controller::ExecutionTimeSource,
+    S: TraceSink,
+{
+    runner.run(&mut Engine::new(sys, manager, overhead), source, exec, sink)
 }
 
 /// Outcome of one manager's run, with the §4.2 headline numbers.
@@ -227,6 +318,8 @@ pub fn run_paper_experiment(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sqm_core::source::Periodic;
+    use sqm_core::stream::OverloadPolicy;
 
     fn tiny() -> PaperExperiment {
         // Small steps: on a 37-action cycle, relaxing r steps must fit r
@@ -259,6 +352,41 @@ mod tests {
             assert!((summary.avg_quality() - trace.avg_quality()).abs() < 1e-12);
             assert!((summary.overhead_ratio() - trace.overhead_ratio()).abs() < 1e-12);
         }
+    }
+
+    /// The experiment's chaining is configurable (live capture vs file
+    /// encode), and a periodic event source under the Block policy is
+    /// byte-identical to the closed loop for both modes — the streaming
+    /// front-end generalizes the harness, it doesn't fork it.
+    #[test]
+    fn chaining_is_exposed_and_streaming_matches_closed_loop() {
+        let mut runs = Vec::new();
+        for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
+            let exp = tiny().with_chaining(chaining);
+            let frames = 4;
+            let closed = exp.run_summary(ManagerKind::Regions, frames, 0.1, 11, None);
+            let period = exp.encoder.config().frame_period;
+            let streamed = exp.run_stream_into(
+                ManagerKind::Regions,
+                0.1,
+                11,
+                StreamConfig {
+                    chaining,
+                    capacity: 2,
+                    policy: OverloadPolicy::Block,
+                },
+                &mut Periodic::new(period, frames),
+                &mut NullSink,
+            );
+            assert_eq!(streamed.run, closed, "{chaining:?}");
+            assert_eq!(streamed.stats.processed, frames);
+            assert_eq!(streamed.stats.dropped, 0);
+            runs.push(closed);
+        }
+        assert_ne!(
+            runs[0], runs[1],
+            "the chaining knob must actually change the run"
+        );
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   compiled tables (`cargo run -p sqm-bench --release --bin
 //!   bench_fleet` emits `BENCH_fleet.json`, the perf trajectory's
 //!   multi-stream point next to `BENCH_baseline.json`).
+//! * [`streaming`] — the event-driven workload: the encoder fed from
+//!   `sqm_core::source` arrival patterns through the bounded-backlog
+//!   `sqm_core::stream` front-end (`cargo run -p sqm-bench --release
+//!   --bin bench_stream` emits `BENCH_stream.json`, the trajectory's
+//!   third point: backlog/latency under live traffic).
 //! * [`report`] — ASCII tables/plots for the figure binaries.
 
 #![forbid(unsafe_code)]
@@ -25,6 +30,8 @@
 pub mod fleet;
 pub mod harness;
 pub mod report;
+pub mod streaming;
 
 pub use fleet::{FleetExperiment, FleetWorkload};
 pub use harness::{run_paper_experiment, ExperimentResult, ManagerKind, PaperExperiment};
+pub use streaming::{StreamScenario, StreamingExperiment};

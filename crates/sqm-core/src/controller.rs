@@ -14,7 +14,9 @@
 //! iterates cycles (video frames), carrying earliness/lateness across
 //! cycle boundaries the way a streaming encoder does. Both are thin shells
 //! over [`crate::engine::Engine`] — use the engine directly for
-//! allocation-free or custom-sink runs.
+//! allocation-free or custom-sink runs, and
+//! [`crate::stream::StreamingRunner`] when cycles arrive from an event
+//! source ([`crate::source`]) rather than the closed loop.
 
 use crate::action::ActionId;
 use crate::engine::{CycleChaining, Engine, TraceSink};

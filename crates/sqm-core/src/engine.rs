@@ -252,7 +252,18 @@ pub struct RunSummary {
     pub misses: usize,
     /// Total infeasible decisions.
     pub infeasible: usize,
-    /// Cycle-relative completion time of the final cycle.
+    /// Latest cycle-relative completion time over the run's cycles
+    /// ([`Time::ZERO`] for empty runs).
+    ///
+    /// Under work-conserving earliness a *later* cycle can finish at an
+    /// *earlier* relative time (even a negative one — and with prefetch
+    /// ahead of late first arrivals, *every* end can be negative), so
+    /// every reduction path — [`RunSummary::absorb`],
+    /// [`RunSummary::merge`], [`crate::trace::Trace::run_summary`] —
+    /// seeds from the first non-empty contribution and takes the `max`
+    /// from there, never the final cycle's value and never the empty
+    /// default. One semantics for serial, trace-replay and fleet-merge
+    /// alike.
     pub last_end: Time,
 }
 
@@ -268,7 +279,17 @@ impl RunSummary {
         self.quality_sum += c.quality_sum;
         self.misses += c.misses;
         self.infeasible += c.infeasible;
-        self.last_end = c.end;
+        // `max`, not overwrite: an early-finishing final cycle (end ≤
+        // start, possible under work-conserving earliness) must not drag
+        // `last_end` backwards — `merge` takes the max the same way, and
+        // the serial and fleet-merge reductions have to agree
+        // byte-for-byte. The first cycle *seeds* rather than maxes so the
+        // empty-run default of zero cannot mask all-negative ends.
+        self.last_end = if self.cycles == 1 {
+            c.end
+        } else {
+            self.last_end.max(c.end)
+        };
     }
 
     /// Fold another run's aggregates into this one — the reduction step of
@@ -277,8 +298,17 @@ impl RunSummary {
     /// order afterwards.
     ///
     /// All counters add; `last_end` keeps the later of the two completion
-    /// times (the merged runs are concurrent, not consecutive).
+    /// times (the merged runs are concurrent, not consecutive), with an
+    /// empty side contributing nothing — so the default value is a true
+    /// merge identity even for runs whose every end is negative.
     pub fn merge(&mut self, other: &RunSummary) {
+        self.last_end = if self.cycles == 0 {
+            other.last_end
+        } else if other.cycles == 0 {
+            self.last_end
+        } else {
+            self.last_end.max(other.last_end)
+        };
         self.cycles += other.cycles;
         self.actions += other.actions;
         self.qm_calls += other.qm_calls;
@@ -288,7 +318,6 @@ impl RunSummary {
         self.quality_sum += other.quality_sum;
         self.misses += other.misses;
         self.infeasible += other.infeasible;
-        self.last_end = self.last_end.max(other.last_end);
     }
 
     /// Mean quality level over all actions.
@@ -634,6 +663,45 @@ mod tests {
             assert_eq!(a.start, b.start);
             assert_eq!(a.records, b.records);
         }
+    }
+
+    /// Regression: an early-finishing final cycle (its relative end is
+    /// *earlier* than a previous cycle's — even negative, thanks to
+    /// work-conserving earliness) must not drag `last_end` backwards.
+    /// The serial absorb path, the trace-replay reduction and the
+    /// fleet-style merge all have to agree byte-for-byte.
+    #[test]
+    fn last_end_takes_max_across_early_finishing_cycles() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        // Average times total far under the 130 ns period, so each cycle
+        // starts (and ends) earlier than the one before: the *final*
+        // cycle's end is the minimum, and negative.
+        let mut engine = Engine::new(&s, NumericManager::new(&s, &p), OverheadModel::ZERO);
+        let mut trace = Trace::default();
+        let run = engine.run_cycles(
+            4,
+            Time::from_ns(130),
+            CycleChaining::WorkConserving,
+            &mut ConstantExec::average(s.table()),
+            &mut trace,
+        );
+        let ends: Vec<Time> = trace.cycles.iter().map(|c| c.stats().end).collect();
+        let max_end = ends.iter().copied().fold(Time::NEG_INF, Time::max);
+        assert!(
+            ends.last().copied().unwrap() < max_end,
+            "the scenario must exercise an early-finishing final cycle"
+        );
+        assert!(ends.last().copied().unwrap() < Time::ZERO);
+        // Serial path.
+        assert_eq!(run.last_end, max_end);
+        // Trace-replay path.
+        assert_eq!(trace.run_summary(), run);
+        // Fleet-merge path: merging per-stream summaries keeps the max.
+        let mut merged = RunSummary::default();
+        merged.merge(&run);
+        merged.merge(&run);
+        assert_eq!(merged.last_end, run.last_end);
     }
 
     #[test]

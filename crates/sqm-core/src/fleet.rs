@@ -34,8 +34,11 @@
 //! [`Engine`]: crate::engine::Engine
 
 use crate::engine::RunSummary;
+use crate::source::ArrivalSpec;
 use crate::time::Time;
 use crate::trace::ActionRecord;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One independent stream: a workload payload plus the run parameters
@@ -55,6 +58,32 @@ pub struct StreamSpec<W> {
     pub seed: u64,
     /// Cycles (frames / packets) to run.
     pub cycles: usize,
+    /// How the stream's cycles arrive: [`ArrivalSpec::Closed`] (the
+    /// default) runs the engine's closed loop; any other pattern makes
+    /// the drive closure feed the stream through a
+    /// [`crate::stream::StreamingRunner`] — the pattern is plain data, so
+    /// specs stay `Copy` and shareable across worker threads.
+    pub arrival: ArrivalSpec,
+}
+
+impl<W> StreamSpec<W> {
+    /// A closed-loop spec (today's behaviour): the engine chains cycles
+    /// itself; no event source involved.
+    pub fn new(workload: W, seed: u64, cycles: usize) -> StreamSpec<W> {
+        StreamSpec {
+            workload,
+            seed,
+            cycles,
+            arrival: ArrivalSpec::Closed,
+        }
+    }
+
+    /// The same stream fed by an event source with the given arrival
+    /// pattern.
+    pub fn with_arrival(mut self, arrival: ArrivalSpec) -> StreamSpec<W> {
+        self.arrival = arrival;
+        self
+    }
 }
 
 /// Per-worker scratch storage, reused across every stream the worker runs.
@@ -204,7 +233,7 @@ impl FleetSummary {
 /// let policy = MixedPolicy::new(&sys);
 ///
 /// let specs: Vec<StreamSpec<()>> = (0..4)
-///     .map(|seed| StreamSpec { workload: (), seed, cycles: 3 })
+///     .map(|seed| StreamSpec::new((), seed, 3))
 ///     .collect();
 ///
 /// let fleet = FleetRunner::new(2).run(&specs, |spec, _scratch| {
@@ -258,7 +287,7 @@ impl FleetRunner {
     /// reference path the multi-worker output is guaranteed to match.
     pub fn run<W, F>(&self, specs: &[StreamSpec<W>], drive: F) -> FleetSummary
     where
-        W: Sync,
+        W: Sync + fmt::Debug,
         F: Fn(&StreamSpec<W>, &mut StreamScratch) -> RunSummary + Sync,
     {
         let workers = self.workers.min(specs.len().max(1));
@@ -281,17 +310,32 @@ impl FleetRunner {
                             let mut local = Vec::new();
                             loop {
                                 let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                let Some(spec) = specs.get(i) else { break };
+                                let Some(spec) = specs.get(i) else {
+                                    break Ok(local);
+                                };
                                 scratch.records.clear();
-                                local.push((i, drive(spec, &mut scratch)));
+                                // Catch per-stream panics so the join can
+                                // say *which* stream failed, not just that
+                                // some worker died.
+                                match catch_unwind(AssertUnwindSafe(|| drive(spec, &mut scratch))) {
+                                    Ok(summary) => local.push((i, summary)),
+                                    Err(payload) => break Err((i, panic_message(payload))),
+                                }
                             }
-                            local
                         })
                     })
                     .collect();
                 for handle in handles {
-                    for (i, summary) in handle.join().expect("fleet worker panicked") {
-                        slots[i] = Some(summary);
+                    match handle.join().expect("fleet worker died outside drive") {
+                        Ok(local) => {
+                            for (i, summary) in local {
+                                slots[i] = Some(summary);
+                            }
+                        }
+                        Err((i, message)) => panic!(
+                            "fleet worker panicked on stream {i} (workload {:?}, seed {}): {message}",
+                            specs[i].workload, specs[i].seed,
+                        ),
                     }
                 }
             });
@@ -302,6 +346,19 @@ impl FleetRunner {
                 .map(|s| s.expect("every stream ran exactly once"))
                 .collect(),
         )
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (`panic!` with a
+/// string literal or a formatted `String` — anything else keeps a
+/// placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
     }
 }
 
@@ -348,11 +405,7 @@ mod tests {
 
     fn specs(n: usize) -> Vec<StreamSpec<u8>> {
         (0..n)
-            .map(|i| StreamSpec {
-                workload: (i % 3) as u8,
-                seed: i as u64 * 17,
-                cycles: 2 + i % 4,
-            })
+            .map(|i| StreamSpec::new((i % 3) as u8, i as u64 * 17, 2 + i % 4))
             .collect()
     }
 
@@ -439,6 +492,36 @@ mod tests {
         });
         let caps = caps.into_inner().unwrap();
         assert!(caps.windows(2).all(|w| w[1] >= w[0]), "capacity only grows");
+    }
+
+    /// A worker panic must name the failing stream: index, workload
+    /// payload and seed — not just "a worker panicked".
+    #[test]
+    fn worker_panic_names_the_failing_stream() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let specs = specs(6);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            FleetRunner::new(3).run(&specs, |spec, scratch| {
+                if spec.seed == 17 * 4 {
+                    panic!("injected failure in stream body");
+                }
+                drive(&s, &p, spec, scratch)
+            })
+        }));
+        let message = panic_message(result.expect_err("the fleet must propagate the panic"));
+        assert!(
+            message.contains("stream 4"),
+            "panic names the stream index: {message}"
+        );
+        assert!(
+            message.contains("workload 1") && message.contains("seed 68"),
+            "panic names the payload and seed: {message}"
+        );
+        assert!(
+            message.contains("injected failure in stream body"),
+            "panic preserves the original message: {message}"
+        );
     }
 
     #[test]

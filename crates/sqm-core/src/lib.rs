@@ -38,6 +38,16 @@
 //!    [`engine::RunSummary`]); a [`fleet::FleetRunner`] distributes
 //!    [`fleet::StreamSpec`]s over scoped threads and merges the results in
 //!    deterministic submission order into a [`fleet::FleetSummary`].
+//! 9. **Streaming** — [`source`] + [`stream`]: the event-driven front-end.
+//!    An [`source::ArrivalSource`] yields cycle arrival timestamps
+//!    (periodic, jittered, bursty, recorded-trace replay, all
+//!    deterministic per seed); a [`stream::StreamingRunner`] pulls them
+//!    onto the engine with a bounded backlog queue, overload policies
+//!    ([`stream::OverloadPolicy`]) and per-run backlog/latency aggregates
+//!    ([`stream::StreamStats`]). The closed loop is the special case of a
+//!    periodic source under the `Block` policy — byte-identical to
+//!    [`engine::Engine::run_cycles`] for both [`engine::CycleChaining`]
+//!    variants.
 //!
 //! The engine seam — how 6–8 fit together: a
 //! [`manager::QualityManager`] makes the decisions, an
@@ -71,7 +81,9 @@ pub mod quality;
 pub mod regions;
 pub mod relaxation;
 pub mod smoothness;
+pub mod source;
 pub mod speed;
+pub mod stream;
 pub mod system;
 pub mod tables;
 pub mod time;
@@ -100,7 +112,14 @@ pub mod prelude {
     pub use crate::quality::{Quality, QualitySet};
     pub use crate::regions::QualityRegionTable;
     pub use crate::relaxation::{RelaxationTable, StepSet};
+    pub use crate::source::{
+        ArrivalSource, ArrivalSpec, Bursty, FnSource, Jittered, PatternSource, Periodic,
+        TraceReplay,
+    };
     pub use crate::speed::SpeedDiagram;
+    pub use crate::stream::{
+        OverloadPolicy, StreamConfig, StreamStats, StreamSummary, StreamingRunner,
+    };
     pub use crate::system::{ParameterizedSystem, SystemBuilder};
     pub use crate::time::Time;
     pub use crate::timing::{TimeTable, TimeTableBuilder};

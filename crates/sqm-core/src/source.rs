@@ -1,0 +1,428 @@
+//! Arrival sources — *where cycles come from* in live operation.
+//!
+//! The paper's evaluation runs a closed loop: cycle `c + 1` is available
+//! the instant cycle `c` finishes (file encode), or at its period boundary
+//! (live capture, [`CycleChaining::ArrivalClamped`]). A production
+//! front-end is event-driven instead: frames arrive from capture hardware,
+//! a network socket, or an upstream pipeline stage, at times the quality
+//! manager does not control. An [`ArrivalSource`] abstracts that event
+//! stream down to the one thing the execution layer needs — **the arrival
+//! timestamp of the next cycle** — and [`crate::stream::StreamingRunner`]
+//! pulls cycles from a source onto the shared [`crate::engine::Engine`].
+//!
+//! Built-in sources:
+//!
+//! * [`Periodic`] — one frame every `period`; with the `Block` overload
+//!   policy this reproduces the closed loop *exactly* (both
+//!   [`CycleChaining`] variants are pinned byte-identical by test).
+//! * [`Jittered`] — periodic with bounded uniform jitter, deterministic
+//!   per seed (the `rand` shim's seeded generator).
+//! * [`Bursty`] — frames arrive in bursts at the nominal average rate,
+//!   burst sizes drawn per seed — the pattern that exercises backlog
+//!   bounds and overload policies.
+//! * [`TraceReplay`] — recorded arrival timestamps, for replaying captured
+//!   traffic byte-for-byte.
+//! * [`FnSource`] — closure-backed, for tests and custom feeds.
+//!
+//! All sources are deterministic: the streaming layer inherits the fleet
+//! layer's property that results depend only on specs and seeds, never on
+//! host scheduling. Timestamps must be non-decreasing; every built-in
+//! source guarantees it, and the runner clamps defensively.
+//!
+//! [`CycleChaining`]: crate::engine::CycleChaining
+//! [`CycleChaining::ArrivalClamped`]: crate::engine::CycleChaining::ArrivalClamped
+
+use crate::time::Time;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An event stream of cycle arrivals: yields the absolute arrival
+/// timestamp of the next frame, or `None` when the stream ends.
+///
+/// Timestamps must be non-decreasing. Frame indices are implicit — the
+/// `n`-th yielded timestamp is frame `n`, and a frame dropped by an
+/// overload policy still consumes its index (replay stays aligned).
+pub trait ArrivalSource {
+    /// Arrival time of the next frame on the run's absolute time line, or
+    /// `None` when the stream has ended.
+    fn next_arrival(&mut self) -> Option<Time>;
+}
+
+impl<A: ArrivalSource + ?Sized> ArrivalSource for &mut A {
+    fn next_arrival(&mut self) -> Option<Time> {
+        (**self).next_arrival()
+    }
+}
+
+/// One frame every `period`, starting at time zero — the closed loop's
+/// arrival pattern, made explicit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Periodic {
+    period: Time,
+    frames: usize,
+    next: usize,
+}
+
+impl Periodic {
+    /// `frames` arrivals at `0, period, 2·period, …`.
+    pub fn new(period: Time, frames: usize) -> Periodic {
+        Periodic {
+            period,
+            frames,
+            next: 0,
+        }
+    }
+}
+
+impl ArrivalSource for Periodic {
+    fn next_arrival(&mut self) -> Option<Time> {
+        if self.next == self.frames {
+            return None;
+        }
+        let t = self.period.saturating_mul(self.next as i64);
+        self.next += 1;
+        Some(t)
+    }
+}
+
+/// Periodic arrivals with bounded uniform jitter: frame `c` arrives at
+/// `c · period + U(−jitter, +jitter)`, clamped non-negative and
+/// non-decreasing. Deterministic per seed.
+#[derive(Clone, Debug)]
+pub struct Jittered {
+    period: Time,
+    jitter: Time,
+    frames: usize,
+    next: usize,
+    floor: Time,
+    rng: StdRng,
+}
+
+impl Jittered {
+    /// `frames` arrivals around the `period` grid, jittered by at most
+    /// `jitter` either way, seeded deterministically.
+    pub fn new(period: Time, jitter: Time, frames: usize, seed: u64) -> Jittered {
+        Jittered {
+            period,
+            jitter,
+            frames,
+            next: 0,
+            floor: Time::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ArrivalSource for Jittered {
+    fn next_arrival(&mut self) -> Option<Time> {
+        if self.next == self.frames {
+            return None;
+        }
+        let nominal = self.period.saturating_mul(self.next as i64);
+        let j = self.jitter.as_ns();
+        let offset = if j > 0 { self.rng.gen_range(-j..=j) } else { 0 };
+        let t = (nominal + Time::from_ns(offset)).max(self.floor);
+        self.floor = t;
+        self.next += 1;
+        Some(t)
+    }
+}
+
+/// Bursty arrivals at the nominal average rate: frames arrive in bursts of
+/// `1..=max_burst` (drawn per seed) that share one timestamp; the next
+/// burst follows after `burst_size · period`, so the long-run rate is one
+/// frame per `period`. This is the pattern that fills backlog queues and
+/// triggers overload policies.
+#[derive(Clone, Debug)]
+pub struct Bursty {
+    period: Time,
+    max_burst: usize,
+    frames: usize,
+    emitted: usize,
+    burst_left: usize,
+    burst_time: Time,
+    next_time: Time,
+    rng: StdRng,
+}
+
+impl Bursty {
+    /// `frames` arrivals in bursts of up to `max_burst` (at least 1),
+    /// averaging one frame per `period`, seeded deterministically.
+    pub fn new(period: Time, max_burst: usize, frames: usize, seed: u64) -> Bursty {
+        Bursty {
+            period,
+            max_burst: max_burst.max(1),
+            frames,
+            emitted: 0,
+            burst_left: 0,
+            burst_time: Time::ZERO,
+            next_time: Time::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ArrivalSource for Bursty {
+    fn next_arrival(&mut self) -> Option<Time> {
+        if self.emitted == self.frames {
+            return None;
+        }
+        if self.burst_left == 0 {
+            let size = self.rng.gen_range(1..=self.max_burst);
+            self.burst_left = size;
+            self.burst_time = self.next_time;
+            self.next_time = self.burst_time + self.period.saturating_mul(size as i64);
+        }
+        self.burst_left -= 1;
+        self.emitted += 1;
+        Some(self.burst_time)
+    }
+}
+
+/// Replays recorded arrival timestamps (sorted on construction so the
+/// non-decreasing contract holds even for unordered captures).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceReplay {
+    times: Vec<Time>,
+    next: usize,
+}
+
+impl TraceReplay {
+    /// A source replaying `times` in non-decreasing order.
+    pub fn new(mut times: Vec<Time>) -> TraceReplay {
+        times.sort_unstable();
+        TraceReplay { times, next: 0 }
+    }
+
+    /// Number of timestamps left to yield.
+    pub fn remaining(&self) -> usize {
+        self.times.len() - self.next
+    }
+}
+
+impl ArrivalSource for TraceReplay {
+    fn next_arrival(&mut self) -> Option<Time> {
+        let t = self.times.get(self.next).copied()?;
+        self.next += 1;
+        Some(t)
+    }
+}
+
+/// Closure-backed source for tests and ad-hoc feeds. The closure's
+/// timestamps must be non-decreasing.
+pub struct FnSource<F>(pub F);
+
+impl<F: FnMut() -> Option<Time>> ArrivalSource for FnSource<F> {
+    fn next_arrival(&mut self) -> Option<Time> {
+        (self.0)()
+    }
+}
+
+/// A *description* of an arrival pattern — plain data a
+/// [`crate::fleet::StreamSpec`] can carry across threads, turned into a
+/// concrete source per stream via [`ArrivalSpec::build`] (the stream's
+/// period, frame count and seed fill in the parameters).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ArrivalSpec {
+    /// Closed loop: input pre-buffered, the engine's own
+    /// [`crate::engine::CycleChaining`] drives timing (today's behaviour).
+    #[default]
+    Closed,
+    /// [`Periodic`] arrivals at the stream's nominal period.
+    Periodic,
+    /// [`Jittered`] arrivals; jitter bound is `jitter_pct`% of the period.
+    Jittered {
+        /// Jitter bound as a percentage of the period (0–100).
+        jitter_pct: u8,
+    },
+    /// [`Bursty`] arrivals with bursts of up to `max_burst` frames.
+    Bursty {
+        /// Largest burst size (clamped to at least 1).
+        max_burst: u8,
+    },
+}
+
+impl ArrivalSpec {
+    /// Display label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ArrivalSpec::Closed => "closed",
+            ArrivalSpec::Periodic => "periodic",
+            ArrivalSpec::Jittered { .. } => "jittered",
+            ArrivalSpec::Bursty { .. } => "bursty",
+        }
+    }
+
+    /// Instantiate the pattern for one stream: `period` frames apart on
+    /// average, `frames` arrivals, randomness seeded from `seed`. Returns
+    /// `None` for [`ArrivalSpec::Closed`] (no event source — run the
+    /// engine's closed loop).
+    pub fn build(self, period: Time, frames: usize, seed: u64) -> Option<PatternSource> {
+        match self {
+            ArrivalSpec::Closed => None,
+            ArrivalSpec::Periodic => Some(PatternSource::Periodic(Periodic::new(period, frames))),
+            ArrivalSpec::Jittered { jitter_pct } => {
+                let jitter = Time::from_ns(period.as_ns() * i64::from(jitter_pct) / 100);
+                Some(PatternSource::Jittered(Jittered::new(
+                    period, jitter, frames, seed,
+                )))
+            }
+            ArrivalSpec::Bursty { max_burst } => Some(PatternSource::Bursty(Bursty::new(
+                period,
+                usize::from(max_burst),
+                frames,
+                seed,
+            ))),
+        }
+    }
+}
+
+/// A concrete source built from an [`ArrivalSpec`] — an enum, not a trait
+/// object, so fleet drive closures stay statically dispatched.
+#[derive(Clone, Debug)]
+pub enum PatternSource {
+    /// Built from [`ArrivalSpec::Periodic`].
+    Periodic(Periodic),
+    /// Built from [`ArrivalSpec::Jittered`].
+    Jittered(Jittered),
+    /// Built from [`ArrivalSpec::Bursty`].
+    Bursty(Bursty),
+}
+
+impl ArrivalSource for PatternSource {
+    fn next_arrival(&mut self) -> Option<Time> {
+        match self {
+            PatternSource::Periodic(s) => s.next_arrival(),
+            PatternSource::Jittered(s) => s.next_arrival(),
+            PatternSource::Bursty(s) => s.next_arrival(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<A: ArrivalSource>(mut src: A) -> Vec<Time> {
+        let mut out = Vec::new();
+        while let Some(t) = src.next_arrival() {
+            out.push(t);
+        }
+        out
+    }
+
+    #[test]
+    fn periodic_hits_the_grid() {
+        let times = drain(Periodic::new(Time::from_ns(100), 4));
+        assert_eq!(
+            times,
+            vec![
+                Time::ZERO,
+                Time::from_ns(100),
+                Time::from_ns(200),
+                Time::from_ns(300)
+            ]
+        );
+        assert_eq!(drain(Periodic::new(Time::from_ns(100), 0)), vec![]);
+    }
+
+    #[test]
+    fn jittered_is_deterministic_monotone_and_bounded() {
+        let a = drain(Jittered::new(Time::from_ns(100), Time::from_ns(30), 64, 7));
+        let b = drain(Jittered::new(Time::from_ns(100), Time::from_ns(30), 64, 7));
+        assert_eq!(a, b, "same seed, same arrivals");
+        let c = drain(Jittered::new(Time::from_ns(100), Time::from_ns(30), 64, 8));
+        assert_ne!(a, c, "different seed, different arrivals");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+        assert!(a.iter().all(|t| *t >= Time::ZERO));
+        for (i, t) in a.iter().enumerate() {
+            let nominal = 100 * i as i64;
+            assert!(
+                (t.as_ns() - nominal).abs() <= 30 || t.as_ns() == a[i - 1].as_ns(),
+                "frame {i} at {t:?} strays from {nominal}±30"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_periodic() {
+        assert_eq!(
+            drain(Jittered::new(Time::from_ns(100), Time::ZERO, 8, 1)),
+            drain(Periodic::new(Time::from_ns(100), 8)),
+        );
+    }
+
+    #[test]
+    fn bursty_keeps_the_average_rate() {
+        let times = drain(Bursty::new(Time::from_ns(100), 4, 256, 3));
+        assert_eq!(times.len(), 256);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+        // Bursts share timestamps; the next burst is burst_size periods on.
+        assert!(
+            times.windows(2).any(|w| w[0] == w[1]),
+            "max_burst 4 must produce at least one multi-frame burst"
+        );
+        // Average rate: the spacing budget equals frames · period exactly,
+        // counted burst by burst, so the last burst's start is below
+        // frames · period.
+        assert!(times[255] < Time::from_ns(100 * 256));
+        assert_eq!(
+            drain(Bursty::new(Time::from_ns(100), 4, 256, 3)),
+            times,
+            "deterministic per seed"
+        );
+    }
+
+    #[test]
+    fn bursty_with_burst_one_is_periodic() {
+        assert_eq!(
+            drain(Bursty::new(Time::from_ns(100), 1, 8, 9)),
+            drain(Periodic::new(Time::from_ns(100), 8)),
+        );
+    }
+
+    #[test]
+    fn trace_replay_sorts_and_replays() {
+        let src = TraceReplay::new(vec![Time::from_ns(50), Time::ZERO, Time::from_ns(20)]);
+        assert_eq!(src.remaining(), 3);
+        assert_eq!(
+            drain(src),
+            vec![Time::ZERO, Time::from_ns(20), Time::from_ns(50)]
+        );
+    }
+
+    #[test]
+    fn arrival_spec_builds_matching_sources() {
+        let period = Time::from_ns(100);
+        assert!(ArrivalSpec::Closed.build(period, 4, 1).is_none());
+        assert_eq!(
+            drain(ArrivalSpec::Periodic.build(period, 4, 1).unwrap()),
+            drain(Periodic::new(period, 4)),
+        );
+        assert_eq!(
+            drain(
+                ArrivalSpec::Jittered { jitter_pct: 25 }
+                    .build(period, 16, 5)
+                    .unwrap()
+            ),
+            drain(Jittered::new(period, Time::from_ns(25), 16, 5)),
+        );
+        assert_eq!(
+            drain(
+                ArrivalSpec::Bursty { max_burst: 3 }
+                    .build(period, 16, 5)
+                    .unwrap()
+            ),
+            drain(Bursty::new(period, 3, 16, 5)),
+        );
+        assert_eq!(ArrivalSpec::default(), ArrivalSpec::Closed);
+        assert_eq!(ArrivalSpec::Bursty { max_burst: 3 }.label(), "bursty");
+    }
+
+    #[test]
+    fn fn_source_yields_closure_values() {
+        let mut v = vec![Time::from_ns(10), Time::ZERO].into_iter();
+        let times = drain(FnSource(move || v.next()));
+        assert_eq!(times, vec![Time::from_ns(10), Time::ZERO]);
+    }
+}

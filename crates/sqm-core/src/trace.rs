@@ -236,7 +236,16 @@ impl Trace {
                 run.infeasible += usize::from(r.infeasible);
                 end = r.end;
             }
-            run.last_end = end;
+            // Same reduction as `RunSummary::absorb`/`merge`: seed from
+            // the first cycle, then the latest completion over all cycles
+            // — not the final cycle's (which can be earlier under
+            // work-conserving earliness), and not the empty default
+            // (which would floor all-negative ends at zero).
+            run.last_end = if run.cycles == 1 {
+                end
+            } else {
+                run.last_end.max(end)
+            };
         }
         run
     }

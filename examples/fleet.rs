@@ -34,14 +34,16 @@ fn main() {
 
     // Twelve independent streams: alternating applications, per-user seeds.
     let specs: Vec<StreamSpec<Workload>> = (0..12)
-        .map(|i| StreamSpec {
-            workload: if i % 2 == 0 {
-                Workload::Mpeg
-            } else {
-                Workload::Audio
-            },
-            seed: 1_000 + i as u64,
-            cycles: 4,
+        .map(|i| {
+            StreamSpec::new(
+                if i % 2 == 0 {
+                    Workload::Mpeg
+                } else {
+                    Workload::Audio
+                },
+                1_000 + i as u64,
+                4,
+            )
         })
         .collect();
 

@@ -17,6 +17,12 @@
 //! * [`fleet`] (also `core::fleet`) — sharded multi-stream execution:
 //!   many independent engine streams distributed over scoped OS threads,
 //!   merged deterministically into per-stream and aggregate summaries.
+//! * [`source`] + [`stream`] (also `core::source` / `core::stream`) — the
+//!   event-driven front-end: arrival sources (periodic, jittered, bursty,
+//!   recorded-trace replay) feeding the engine through a bounded backlog
+//!   queue with overload policies and backlog/latency aggregates. A
+//!   periodic source under the `Block` policy is byte-identical to the
+//!   closed loop.
 //! * [`platform`] — a virtual execution platform (virtual clock, stochastic
 //!   execution-time models bounded by `Cwc`, profiler, calibrated QM
 //!   overhead models, fault injection).
@@ -52,8 +58,10 @@
 //!
 //! The experiment harness and figure/table binaries live in the
 //! (unre-exported) `sqm-bench` crate; `cargo run -p sqm-bench --release
-//! --bin bench_baseline` emits the workspace's performance baseline and
-//! `… --bin bench_fleet` the multi-stream scaling point next to it.
+//! --bin bench_baseline` emits the workspace's performance baseline,
+//! `… --bin bench_fleet` the multi-stream scaling point and
+//! `… --bin bench_stream` the live-traffic backlog/latency point next to
+//! them.
 //!
 //! ## Quickstart
 //!
@@ -95,7 +103,7 @@
 //! let policy = MixedPolicy::new(&system);
 //!
 //! let specs: Vec<StreamSpec<()>> = (0..8)
-//!     .map(|seed| StreamSpec { workload: (), seed, cycles: 4 })
+//!     .map(|seed| StreamSpec::new((), seed, 4))
 //!     .collect();
 //! let fleet = FleetRunner::new(4).run(&specs, |spec, _scratch| {
 //!     Engine::new(&system, NumericManager::new(&system, &policy), OverheadModel::ZERO)
@@ -110,11 +118,46 @@
 //! assert_eq!(fleet.aggregate().cycles, 32);
 //! assert!(fleet.miss_free());
 //! ```
+//!
+//! ## Live streaming
+//!
+//! ```
+//! use speed_qm::core::controller::{ConstantExec, OverheadModel};
+//! use speed_qm::core::engine::{Engine, NullSink};
+//! use speed_qm::core::manager::NumericManager;
+//! use speed_qm::core::policy::MixedPolicy;
+//! use speed_qm::core::system::SystemBuilder;
+//! use speed_qm::core::time::Time;
+//! use speed_qm::source::Bursty;
+//! use speed_qm::stream::{OverloadPolicy, StreamConfig, StreamingRunner};
+//!
+//! let system = SystemBuilder::new(2)
+//!     .action("decode", &[100, 200], &[60, 120])
+//!     .action("render", &[100, 200], &[60, 120])
+//!     .deadline_last(Time::from_ns(500))
+//!     .build()
+//!     .unwrap();
+//! let policy = MixedPolicy::new(&system);
+//! let mut engine = Engine::new(&system, NumericManager::new(&system, &policy), OverheadModel::ZERO);
+//!
+//! // Bursty live traffic, a 2-frame backlog, skip-to-latest shedding.
+//! let out = StreamingRunner::new(StreamConfig::live(2, OverloadPolicy::SkipToLatest)).run(
+//!     &mut engine,
+//!     &mut Bursty::new(Time::from_ns(500), 4, 32, 7),
+//!     &mut ConstantExec::average(system.table()),
+//!     &mut NullSink,
+//! );
+//! assert_eq!(out.stats.processed + out.stats.dropped, 32);
+//! assert!(out.stats.max_backlog <= 2, "waiting frames bounded by capacity");
+//! assert_eq!(out.run.cycles, out.stats.processed);
+//! ```
 #![forbid(unsafe_code)]
 
 pub use sqm_audio as audio;
 pub use sqm_core as core;
 pub use sqm_core::fleet;
+pub use sqm_core::source;
+pub use sqm_core::stream;
 pub use sqm_mpeg as mpeg;
 pub use sqm_platform as platform;
 pub use sqm_power as power;

@@ -14,10 +14,11 @@ use speed_qm::core::prelude::*;
 /// Drive one stream: a numeric manager over the shared system, actual
 /// times a deterministic function of the stream's seed (admissible by
 /// construction: always ≤ `Cwc`).
-fn drive(
+fn drive_chained(
     sys: &ParameterizedSystem,
     policy: &MixedPolicy,
     fractions: &[f64],
+    chaining: CycleChaining,
     spec: &StreamSpec<()>,
     scratch: &mut StreamScratch,
 ) -> RunSummary {
@@ -32,13 +33,30 @@ fn drive(
     .run_cycles(
         spec.cycles,
         sys.final_deadline(),
-        CycleChaining::WorkConserving,
+        chaining,
         &mut FnExec(|cycle: usize, action: usize, q: Quality| {
             let wc = sys.table().wc(action, q).as_ns() as f64;
             let f = fractions[(action + cycle + spec.seed as usize) % n];
             Time::from_ns((wc * f).floor() as i64)
         }),
         &mut sink,
+    )
+}
+
+fn drive(
+    sys: &ParameterizedSystem,
+    policy: &MixedPolicy,
+    fractions: &[f64],
+    spec: &StreamSpec<()>,
+    scratch: &mut StreamScratch,
+) -> RunSummary {
+    drive_chained(
+        sys,
+        policy,
+        fractions,
+        CycleChaining::WorkConserving,
+        spec,
+        scratch,
     )
 }
 
@@ -56,7 +74,7 @@ proptest! {
         let sys = &arb.system;
         let policy = MixedPolicy::new(sys);
         let specs: Vec<StreamSpec<()>> = (0..n_streams)
-            .map(|i| StreamSpec { workload: (), seed: i as u64 * 31, cycles })
+            .map(|i| StreamSpec::new((), i as u64 * 31, cycles))
             .collect();
 
         // Serial reference: no FleetRunner involved.
@@ -86,6 +104,40 @@ proptest! {
         prop_assert_eq!(&merged, serial.aggregate());
     }
 
+    /// Live-capture mode: the fleet is equally deterministic under
+    /// `ArrivalClamped` chaining — sharding never leaks into results in
+    /// either chaining mode.
+    #[test]
+    fn arrival_clamped_fleet_matches_serial_for_all_worker_counts(
+        arb in arb_system(),
+        n_streams in 1usize..8,
+        cycles in 1usize..4,
+    ) {
+        let sys = &arb.system;
+        let policy = MixedPolicy::new(sys);
+        let specs: Vec<StreamSpec<()>> = (0..n_streams)
+            .map(|i| StreamSpec::new((), i as u64 * 13, cycles))
+            .collect();
+        let clamp = CycleChaining::ArrivalClamped;
+
+        let mut scratch = StreamScratch::default();
+        let serial = FleetSummary::from_streams(
+            specs
+                .iter()
+                .map(|spec| {
+                    scratch.records.clear();
+                    drive_chained(sys, &policy, &arb.fractions, clamp, spec, &mut scratch)
+                })
+                .collect(),
+        );
+        for workers in 1..=8 {
+            let fleet = FleetRunner::new(workers).run(&specs, |spec, scratch| {
+                drive_chained(sys, &policy, &arb.fractions, clamp, spec, scratch)
+            });
+            prop_assert_eq!(&serial, &fleet, "workers = {}", workers);
+        }
+    }
+
     /// A recorded stream feeds the same merge path as a summary-only
     /// stream: reconstructing the RunSummary from a materialized trace
     /// equals the engine's in-place aggregates.
@@ -108,5 +160,68 @@ proptest! {
                 &mut trace,
             );
         prop_assert_eq!(summary, trace.run_summary());
+    }
+}
+
+/// Regression for the `last_end` aggregation drift: under work-conserving
+/// earliness every cycle after the first finishes at an ever-earlier
+/// (negative) relative time, so a "take the final cycle" reduction drags
+/// `last_end` backwards. All three reduction paths — the engine's serial
+/// absorb, the trace-replay reconstruction, and the fleet merge — must
+/// take the max and agree byte-for-byte.
+#[test]
+fn last_end_agrees_across_serial_trace_replay_and_fleet_merge() {
+    // Two actions averaging 10 ns against a 100 ns period: cycle ends run
+    // 10, -80, -170, … — the final cycle's end is negative and minimal.
+    let sys = SystemBuilder::new(1)
+        .action("a", &[10], &[5])
+        .action("b", &[10], &[5])
+        .deadline_last(Time::from_ns(100))
+        .build()
+        .unwrap();
+    let policy = MixedPolicy::new(&sys);
+    let run_stream = |sink: &mut Trace| {
+        Engine::new(
+            &sys,
+            NumericManager::new(&sys, &policy),
+            OverheadModel::ZERO,
+        )
+        .run_cycles(
+            3,
+            Time::from_ns(100),
+            CycleChaining::WorkConserving,
+            &mut ConstantExec::average(sys.table()),
+            sink,
+        )
+    };
+
+    // Serial path: the engine's in-place absorb.
+    let mut trace = Trace::default();
+    let serial = run_stream(&mut trace);
+    assert_eq!(serial.last_end, Time::from_ns(10), "max, not the final end");
+    assert_eq!(
+        trace.cycles.last().unwrap().stats().end,
+        Time::from_ns(-170),
+        "the final cycle really finishes early"
+    );
+
+    // Trace-replay path: reconstructing from the materialized records.
+    assert_eq!(trace.run_summary(), serial);
+
+    // Fleet-merge path: per-stream summaries folded by RunSummary::merge,
+    // via both the serial fold and the threaded runner.
+    let specs: Vec<StreamSpec<()>> = (0..4).map(|i| StreamSpec::new((), i, 3)).collect();
+    let drive = |_: &StreamSpec<()>, scratch: &mut StreamScratch| {
+        let mut t = Trace::default();
+        let s = run_stream(&mut t);
+        scratch.records.clear();
+        s
+    };
+    let mut scratch = StreamScratch::default();
+    let folded = FleetSummary::from_streams(specs.iter().map(|s| drive(s, &mut scratch)).collect());
+    assert_eq!(folded.aggregate().last_end, serial.last_end);
+    for workers in 1..=4 {
+        let fleet = FleetRunner::new(workers).run(&specs, drive);
+        assert_eq!(fleet, folded, "workers = {workers}");
     }
 }

@@ -1,0 +1,151 @@
+//! Property tests for the event-driven streaming front-end
+//! (`sqm_core::source` + `sqm_core::stream`).
+//!
+//! The load-bearing property: the closed loop is a *special case* of
+//! streaming — a [`Periodic`] source under the `Block` overload policy is
+//! byte-identical to [`Engine::run_cycles`] for **both** [`CycleChaining`]
+//! variants, over arbitrary feasible systems and admissible actual times.
+//! On top of that: frame conservation and determinism for every overload
+//! policy under bursty traffic.
+
+mod common;
+
+use common::arb_system;
+use proptest::prelude::*;
+use speed_qm::core::prelude::*;
+
+const OVERHEAD: OverheadModel = OverheadModel::new(Time::from_ns(2), Time::from_ns(1));
+
+/// Deterministic, admissible actual times: a fraction of `Cwc` drawn from
+/// the system's fraction table by `(action + cycle)`.
+fn exec<'a>(sys: &'a ParameterizedSystem, fractions: &'a [f64]) -> impl ExecutionTimeSource + 'a {
+    let n = fractions.len();
+    FnExec(move |cycle: usize, action: usize, q: Quality| {
+        let wc = sys.table().wc(action, q).as_ns() as f64;
+        Time::from_ns((wc * fractions[(action + cycle) % n]).floor() as i64)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Streaming(Periodic, Block) ≡ Engine::run_cycles, byte for byte —
+    /// summaries *and* full traces — under both chaining variants.
+    #[test]
+    fn periodic_block_equals_closed_loop(arb in arb_system(), cycles in 1usize..5) {
+        let sys = &arb.system;
+        let policy = MixedPolicy::new(sys);
+        let period = sys.final_deadline();
+        for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
+            let mut closed_trace = Trace::default();
+            let closed = Engine::new(sys, NumericManager::new(sys, &policy), OVERHEAD)
+                .run_cycles(
+                    cycles,
+                    period,
+                    chaining,
+                    &mut exec(sys, &arb.fractions),
+                    &mut closed_trace,
+                );
+
+            let mut stream_trace = Trace::default();
+            let out = StreamingRunner::new(StreamConfig {
+                chaining,
+                capacity: 3,
+                policy: OverloadPolicy::Block,
+            })
+            .run(
+                &mut Engine::new(sys, NumericManager::new(sys, &policy), OVERHEAD),
+                &mut Periodic::new(period, cycles),
+                &mut exec(sys, &arb.fractions),
+                &mut stream_trace,
+            );
+
+            prop_assert_eq!(out.run, closed, "{:?}", chaining);
+            prop_assert_eq!(closed_trace.cycles.len(), stream_trace.cycles.len());
+            for (a, b) in closed_trace.cycles.iter().zip(&stream_trace.cycles) {
+                prop_assert_eq!(a.cycle, b.cycle);
+                prop_assert_eq!(a.start, b.start);
+                prop_assert_eq!(&a.records, &b.records);
+            }
+            prop_assert_eq!(out.stats.processed, cycles);
+            prop_assert_eq!(out.stats.dropped, 0);
+        }
+    }
+
+    /// Every overload policy conserves frames (processed + dropped =
+    /// arrived), respects the backlog bound in its stats, and is
+    /// deterministic: the same bursty feed twice gives byte-identical
+    /// results.
+    #[test]
+    fn overload_policies_conserve_and_repeat(
+        arb in arb_system(),
+        capacity in 1usize..4,
+        max_burst in 1usize..6,
+        frames in 1usize..24,
+    ) {
+        let sys = &arb.system;
+        let policy = MixedPolicy::new(sys);
+        // Arrivals at 40% of the deadline period: sustained overload
+        // whenever the content runs near worst case.
+        let hot = Time::from_ns(sys.final_deadline().as_ns() * 2 / 5);
+        for overload in [
+            OverloadPolicy::Block,
+            OverloadPolicy::DropNewest,
+            OverloadPolicy::SkipToLatest,
+        ] {
+            let config = StreamConfig::live(capacity, overload);
+            let run_once = || {
+                StreamingRunner::new(config).run(
+                    &mut Engine::new(sys, NumericManager::new(sys, &policy), OVERHEAD),
+                    &mut Bursty::new(hot, max_burst, frames, 17),
+                    &mut exec(sys, &arb.fractions),
+                    &mut NullSink,
+                )
+            };
+            let a = run_once();
+            prop_assert_eq!(a, run_once(), "{:?} must be deterministic", overload);
+            prop_assert_eq!(a.stats.arrived, frames);
+            prop_assert_eq!(a.stats.processed + a.stats.dropped, frames);
+            prop_assert_eq!(a.stats.processed, a.run.cycles);
+            if overload == OverloadPolicy::Block {
+                prop_assert_eq!(a.stats.dropped, 0, "Block is lossless");
+            } else {
+                prop_assert!(
+                    a.stats.max_backlog <= capacity,
+                    "waiting frames bounded by capacity {} (got {})",
+                    capacity,
+                    a.stats.max_backlog
+                );
+            }
+        }
+    }
+
+    /// Replaying a source's recorded timestamps through `TraceReplay`
+    /// reproduces the original run byte-for-byte.
+    #[test]
+    fn trace_replay_reproduces_the_live_run(arb in arb_system(), frames in 1usize..16) {
+        let sys = &arb.system;
+        let policy = MixedPolicy::new(sys);
+        let period = sys.final_deadline();
+        let jitter = Time::from_ns(period.as_ns() / 4);
+        let mut capture = Jittered::new(period, jitter, frames, 23);
+        let mut times = Vec::new();
+        while let Some(t) = capture.next_arrival() {
+            times.push(t);
+        }
+        let config = StreamConfig::live(2, OverloadPolicy::DropNewest);
+        let live = StreamingRunner::new(config).run(
+            &mut Engine::new(sys, NumericManager::new(sys, &policy), OVERHEAD),
+            &mut Jittered::new(period, jitter, frames, 23),
+            &mut exec(sys, &arb.fractions),
+            &mut NullSink,
+        );
+        let replayed = StreamingRunner::new(config).run(
+            &mut Engine::new(sys, NumericManager::new(sys, &policy), OVERHEAD),
+            &mut TraceReplay::new(times),
+            &mut exec(sys, &arb.fractions),
+            &mut NullSink,
+        );
+        prop_assert_eq!(live, replayed);
+    }
+}
