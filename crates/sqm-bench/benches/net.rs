@@ -1,0 +1,63 @@
+//! Packet-pipeline kernels: host cost of parse, DPI, crypto and
+//! compression per quality rung — the third domain's version of the
+//! quality/cost monotonicity the method relies on — plus one whole
+//! regions-managed batch through the engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqm_core::compiler::compile_regions;
+use sqm_core::engine::{CycleChaining, Engine, NullSink};
+use sqm_core::manager::LookupManager;
+use sqm_core::quality::Quality;
+use sqm_net::{NetConfig, NetPipeline};
+use sqm_platform::overhead;
+use std::hint::black_box;
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let net = NetPipeline::new(NetConfig::small(7)).unwrap();
+    let stages = [
+        ("parse", 0usize),
+        ("dpi", 1),
+        ("crypto", 2),
+        ("compress", 3),
+    ];
+    for (name, action) in stages {
+        let mut group = c.benchmark_group(format!("net_{name}"));
+        for q in [0u8, 2, 4] {
+            group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+                b.iter(|| {
+                    black_box(net.run_action_kernel(
+                        black_box(1),
+                        black_box(action),
+                        Quality::new(q),
+                    ))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_managed_batch(c: &mut Criterion) {
+    let net = NetPipeline::new(NetConfig::small(7)).unwrap();
+    let regions = compile_regions(net.system());
+    c.bench_function("net_managed_batch", |b| {
+        let mut exec = net.exec(0.1, 11);
+        b.iter(|| {
+            Engine::new(
+                net.system(),
+                LookupManager::new(&regions),
+                overhead::net_regions(),
+            )
+            .run_cycles(
+                black_box(1),
+                net.config().batch_period(),
+                CycleChaining::WorkConserving,
+                &mut exec,
+                &mut NullSink,
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_pipeline_stages, bench_managed_batch);
+criterion_main!(benches);

@@ -2,9 +2,9 @@
 //! performance trajectory, next to `BENCH_baseline.json`.
 //!
 //! Where the baseline measures one stream's per-action cost, this measures
-//! **aggregate multi-stream throughput**: a mixed fleet of MPEG and audio
-//! streams sharded over 1/2/4/8 workers via `sqm_core::fleet`. Two time
-//! domains are reported:
+//! **aggregate multi-stream throughput**: a mixed fleet of MPEG, audio and
+//! packet-pipeline streams sharded over 1/2/4/8 workers via
+//! `sqm_core::fleet`. Two time domains are reported:
 //!
 //! * **virtual-platform** makespan/speedup — the modeled quantity the
 //!   whole reproduction runs in (every stream has its own virtual clock),
@@ -80,7 +80,7 @@ fn main() {
         concat!(
             "{{\n",
             "  \"schema\": \"speed-qm/bench-fleet/v1\",\n",
-            "  \"config\": \"FleetExperiment::small(7), {} mixed mpeg+audio streams x {} cycles\",\n",
+            "  \"config\": \"FleetExperiment::small(7), {} mixed mpeg+audio+net streams x {} cycles\",\n",
             "  \"note\": \"virtual-* numbers are deterministic platform-model quantities; host_wall_ns is machine-dependent (track deltas, not absolutes)\",\n",
             "  \"one_worker_byte_identical_to_serial\": true,\n",
             "  \"aggregate\": {{\n",

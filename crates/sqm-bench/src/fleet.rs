@@ -10,19 +10,16 @@
 //! execution" item calls for: many users' independent encodes in flight,
 //! one symbolic compilation.
 
-use sqm_audio::{AudioCodec, AudioConfig};
-use sqm_core::compiler::compile_regions;
-use sqm_core::engine::{CycleChaining, Engine, RecordBuffer, RunSummary};
+use sqm_core::engine::{CycleChaining, RunSummary};
 use sqm_core::fleet::{FleetRunner, FleetSummary, StreamScratch, StreamSpec};
-use sqm_core::manager::LookupManager;
-use sqm_core::regions::QualityRegionTable;
 use sqm_core::relaxation::StepSet;
 use sqm_core::source::ArrivalSpec;
-use sqm_core::stream::{OverloadPolicy, StreamConfig, StreamingRunner};
+use sqm_core::stream::{OverloadPolicy, StreamConfig};
 use sqm_mpeg::EncoderConfig;
-use sqm_platform::overhead;
 
 use crate::harness::{ManagerKind, PaperExperiment};
+use crate::net::NetExperiment;
+use crate::workload::{AudioExperiment, Workload};
 
 /// Which application a stream runs — the `workload` payload of the fleet's
 /// [`StreamSpec`]s.
@@ -32,6 +29,8 @@ pub enum FleetWorkload {
     Mpeg(ManagerKind),
     /// The adaptive audio codec under the symbolic (regions) manager.
     Audio,
+    /// The packet pipeline under the symbolic (regions) manager.
+    Net,
 }
 
 impl FleetWorkload {
@@ -42,6 +41,7 @@ impl FleetWorkload {
             FleetWorkload::Mpeg(ManagerKind::Regions) => "mpeg/regions",
             FleetWorkload::Mpeg(ManagerKind::Relaxation) => "mpeg/relaxation",
             FleetWorkload::Audio => "audio/regions",
+            FleetWorkload::Net => "net/regions",
         }
     }
 }
@@ -49,8 +49,8 @@ impl FleetWorkload {
 /// Shared read-only state serving every stream of a fleet run.
 pub struct FleetExperiment {
     mpeg: PaperExperiment,
-    audio: AudioCodec,
-    audio_regions: QualityRegionTable,
+    audio: AudioExperiment,
+    net: NetExperiment,
     jitter: f64,
     capacity: usize,
     policy: OverloadPolicy,
@@ -58,19 +58,18 @@ pub struct FleetExperiment {
 
 impl FleetExperiment {
     /// The CI-scale setup: the `small` encoder (298 actions) with the
-    /// baseline step menu, plus the `tiny` audio codec — the same
-    /// configurations `bench_baseline` and the test suite use.
+    /// baseline step menu, the `tiny` audio codec and the `tiny` packet
+    /// pipeline — the same configurations `bench_baseline` and the test
+    /// suite use.
     pub fn small(seed: u64) -> FleetExperiment {
         let mpeg = PaperExperiment::with_config_and_rho(
             EncoderConfig::small(seed),
             StepSet::new(vec![1, 2, 4, 8]).expect("valid step menu"),
         );
-        let audio = AudioCodec::new(AudioConfig::tiny(seed)).expect("audio config is feasible");
-        let audio_regions = compile_regions(audio.system());
         FleetExperiment {
             mpeg,
-            audio,
-            audio_regions,
+            audio: AudioExperiment::tiny(seed),
+            net: NetExperiment::tiny(seed),
             jitter: 0.1,
             capacity: 4,
             policy: OverloadPolicy::Block,
@@ -115,20 +114,26 @@ impl FleetExperiment {
         &self.mpeg
     }
 
-    /// The shared audio codec.
-    pub fn audio(&self) -> &AudioCodec {
+    /// The shared audio experiment.
+    pub fn audio(&self) -> &AudioExperiment {
         &self.audio
     }
 
+    /// The shared packet-pipeline experiment.
+    pub fn net(&self) -> &NetExperiment {
+        &self.net
+    }
+
     /// A mixed spec list: `streams` streams of `cycles` cycles each,
-    /// round-robining over the three MPEG managers and the audio codec,
-    /// with per-stream seeds.
+    /// round-robining over the three MPEG managers, the audio codec and
+    /// the packet pipeline, with per-stream seeds.
     pub fn mixed_specs(&self, streams: usize, cycles: usize) -> Vec<StreamSpec<FleetWorkload>> {
-        const KINDS: [FleetWorkload; 4] = [
+        const KINDS: [FleetWorkload; 5] = [
             FleetWorkload::Mpeg(ManagerKind::Numeric),
             FleetWorkload::Mpeg(ManagerKind::Regions),
             FleetWorkload::Mpeg(ManagerKind::Relaxation),
             FleetWorkload::Audio,
+            FleetWorkload::Net,
         ];
         (0..streams)
             .map(|i| StreamSpec::new(KINDS[i % KINDS.len()], 100 + i as u64, cycles))
@@ -155,64 +160,50 @@ impl FleetExperiment {
     /// Run one stream to completion, recording its actions into the
     /// worker's reusable scratch buffer. This is the `drive` closure body
     /// of every fleet path and the serial reference path alike, so the two
-    /// are identical by construction. Specs with an event source
-    /// ([`StreamSpec::arrival`] ≠ `Closed`) route through a
-    /// [`StreamingRunner`] under [`FleetExperiment::stream_config`];
-    /// closed-loop specs run the engine's own chaining.
+    /// are identical by construction.
+    ///
+    /// Audio and net streams dispatch through the uniform
+    /// [`Workload::run_spec`] seam (which routes event-sourced specs
+    /// through a streaming runner under
+    /// [`FleetExperiment::stream_config`] and closed specs through the
+    /// engine's own chaining); MPEG streams keep the
+    /// [`ManagerKind`]-specific path so numeric and relaxation managers
+    /// stay reachable from the fleet.
     pub fn run_stream(
         &self,
         spec: &StreamSpec<FleetWorkload>,
         scratch: &mut StreamScratch,
     ) -> RunSummary {
-        let mut sink = RecordBuffer::new(&mut scratch.records);
-        let (period, frames) = match spec.workload {
-            FleetWorkload::Mpeg(_) => (self.mpeg.encoder.config().frame_period, spec.cycles),
-            FleetWorkload::Audio => (self.audio.config().cycle_period, spec.cycles),
-        };
-        match spec.arrival.build(period, frames, spec.seed) {
-            None => match spec.workload {
-                FleetWorkload::Mpeg(kind) => {
-                    self.mpeg
-                        .run_into(kind, spec.cycles, self.jitter, spec.seed, None, &mut sink)
-                }
-                FleetWorkload::Audio => {
-                    let manager = LookupManager::new(&self.audio_regions);
-                    let mut exec = self.audio.exec(self.jitter, spec.seed);
-                    Engine::new(self.audio.system(), manager, overhead::regions()).run_cycles(
+        let config = self.stream_config();
+        match spec.workload {
+            FleetWorkload::Audio => self.audio.run_spec(config, spec, self.jitter, scratch),
+            FleetWorkload::Net => self.net.run_spec(config, spec, self.jitter, scratch),
+            FleetWorkload::Mpeg(kind) => {
+                let mut sink = sqm_core::engine::RecordBuffer::new(&mut scratch.records);
+                let period = self.mpeg.encoder.config().frame_period;
+                match spec.arrival.build(period, spec.cycles, spec.seed) {
+                    None => self.mpeg.run_into(
+                        kind,
                         spec.cycles,
-                        self.audio.config().cycle_period,
-                        self.chaining(),
-                        &mut exec,
+                        self.jitter,
+                        spec.seed,
+                        None,
                         &mut sink,
-                    )
+                    ),
+                    Some(mut source) => {
+                        self.mpeg
+                            .run_stream_into(
+                                kind,
+                                self.jitter,
+                                spec.seed,
+                                config,
+                                &mut source,
+                                &mut sink,
+                            )
+                            .run
+                    }
                 }
-            },
-            Some(mut source) => match spec.workload {
-                FleetWorkload::Mpeg(kind) => {
-                    self.mpeg
-                        .run_stream_into(
-                            kind,
-                            self.jitter,
-                            spec.seed,
-                            self.stream_config(),
-                            &mut source,
-                            &mut sink,
-                        )
-                        .run
-                }
-                FleetWorkload::Audio => {
-                    let manager = LookupManager::new(&self.audio_regions);
-                    let mut exec = self.audio.exec(self.jitter, spec.seed);
-                    StreamingRunner::new(self.stream_config())
-                        .run(
-                            &mut Engine::new(self.audio.system(), manager, overhead::regions()),
-                            &mut source,
-                            &mut exec,
-                            &mut sink,
-                        )
-                        .run
-                }
-            },
+            }
         }
     }
 
@@ -243,17 +234,15 @@ mod tests {
     use super::*;
 
     fn tiny_exp() -> FleetExperiment {
-        // Tiny MPEG config to keep test runtime low; same structure.
+        // Tiny configs to keep test runtime low; same structure.
         let mpeg = PaperExperiment::with_config_and_rho(
             EncoderConfig::tiny(3),
             StepSet::new(vec![1, 2, 3, 4]).unwrap(),
         );
-        let audio = AudioCodec::new(AudioConfig::tiny(3)).unwrap();
-        let audio_regions = compile_regions(audio.system());
         FleetExperiment {
             mpeg,
-            audio,
-            audio_regions,
+            audio: AudioExperiment::tiny(3),
+            net: NetExperiment::tiny(3),
             jitter: 0.1,
             capacity: 4,
             policy: OverloadPolicy::Block,
@@ -278,30 +267,16 @@ mod tests {
         let labels: Vec<_> = specs.iter().map(|s| s.workload.label()).collect();
         assert!(labels.contains(&"mpeg/numeric"));
         assert!(labels.contains(&"audio/regions"));
+        assert!(labels.contains(&"net/regions"));
         let fleet = exp.run(&specs, 4);
         assert!(fleet.miss_free(), "every stream honours its deadlines");
         assert_eq!(fleet.aggregate().cycles, 16);
         assert!(fleet.aggregate().overhead_ratio() > 0.0);
     }
 
-    /// A periodic event source under the Block policy is a drop-in for
-    /// the closed loop, stream by stream, under both chaining modes.
-    #[test]
-    fn periodic_streams_match_closed_loop_per_stream() {
-        for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
-            let exp = tiny_exp().with_chaining(chaining);
-            let closed = exp.mixed_specs(4, 2);
-            let periodic: Vec<_> = closed
-                .iter()
-                .map(|s| s.with_arrival(ArrivalSpec::Periodic))
-                .collect();
-            assert_eq!(
-                exp.run_serial(&closed),
-                exp.run_serial(&periodic),
-                "{chaining:?}"
-            );
-        }
-    }
+    // NOTE: the per-stream "periodic + Block ≡ closed loop" identity that
+    // used to live here is pinned — for every workload and chaining mode —
+    // by the cross-path conformance suite (`tests/conformance.rs`).
 
     /// The live-capture fleet (ArrivalClamped chaining) is deterministic
     /// across worker counts, for closed and event-sourced streams alike.

@@ -22,6 +22,12 @@
 //!   `sqm_core::stream` front-end (`cargo run -p sqm-bench --release
 //!   --bin bench_stream` emits `BENCH_stream.json`, the trajectory's
 //!   third point: backlog/latency under live traffic).
+//! * [`workload`] — the uniform workload seam: the [`Workload`] trait
+//!   every application domain (MPEG, audio, net) registers through, plus
+//!   the audio registration.
+//! * [`net`] — the packet-pipeline workload: bursty line-rate traffic
+//!   under tail drop (`cargo run -p sqm-bench --release --bin bench_net`
+//!   emits `BENCH_net.json`, the trajectory's fourth point).
 //! * [`report`] — ASCII tables/plots for the figure binaries.
 
 #![forbid(unsafe_code)]
@@ -29,9 +35,13 @@
 
 pub mod fleet;
 pub mod harness;
+pub mod net;
 pub mod report;
 pub mod streaming;
+pub mod workload;
 
 pub use fleet::{FleetExperiment, FleetWorkload};
 pub use harness::{run_paper_experiment, ExperimentResult, ManagerKind, PaperExperiment};
+pub use net::NetExperiment;
 pub use streaming::{StreamScenario, StreamingExperiment};
+pub use workload::{AudioExperiment, Workload};

@@ -1,0 +1,283 @@
+//! Net harness: the packet-pipeline workload behind the uniform
+//! [`Workload`] seam, plus the line-rate scenario menu the `bench_net`
+//! binary and `benches/net.rs` share.
+//!
+//! A [`NetExperiment`] compiles the pipeline's quality regions **once**
+//! and serves every path from them — closed loop, event-driven streaming,
+//! fleet sharding. The natural operating regime is the one the MPEG and
+//! audio workloads never enter: packets arrive in **bursts** at line
+//! rate, the backlog is a real NIC queue, and under overload the right
+//! policy is **tail drop** ([`OverloadPolicy::DropNewest`]) — routers
+//! shed load, they do not backpressure the wire.
+
+use sqm_core::compiler::compile_regions;
+use sqm_core::engine::CycleChaining;
+use sqm_core::fleet::{FleetRunner, FleetSummary, StreamScratch, StreamSpec};
+use sqm_core::regions::QualityRegionTable;
+use sqm_core::source::ArrivalSpec;
+use sqm_core::stream::{OverloadPolicy, StreamConfig, StreamSummary};
+use sqm_core::system::ParameterizedSystem;
+use sqm_core::time::Time;
+use sqm_net::{NetConfig, NetExec, NetPipeline};
+
+use crate::streaming::StreamScenario;
+use crate::workload::Workload;
+
+/// The packet-pipeline experiment: pipeline + compiled quality regions.
+pub struct NetExperiment {
+    net: NetPipeline,
+    regions: QualityRegionTable,
+    jitter: f64,
+}
+
+impl NetExperiment {
+    /// Build a pipeline and compile its quality regions.
+    pub fn new(config: NetConfig) -> NetExperiment {
+        let net = NetPipeline::new(config).expect("net config is feasible at the line rate");
+        let regions = compile_regions(net.system());
+        NetExperiment {
+            net,
+            regions,
+            jitter: 0.1,
+        }
+    }
+
+    /// The CI-scale setup ([`NetConfig::small`]: 64-packet batches at
+    /// 400 Mbit/s).
+    pub fn small(seed: u64) -> NetExperiment {
+        NetExperiment::new(NetConfig::small(seed))
+    }
+
+    /// The test-scale setup ([`NetConfig::tiny`]: 8-packet batches).
+    pub fn tiny(seed: u64) -> NetExperiment {
+        NetExperiment::new(NetConfig::tiny(seed))
+    }
+
+    /// The wrapped pipeline.
+    pub fn pipeline(&self) -> &NetPipeline {
+        &self.net
+    }
+
+    /// The content-jitter fraction the experiment's own entry points
+    /// (`run_scenario`, `run_fleet`, `run_serial`, `bench_net`) use.
+    ///
+    /// The uniform [`Workload`] seam threads jitter as an explicit
+    /// parameter instead, so harnesses that own their jitter knob (e.g.
+    /// [`crate::FleetExperiment`]) pass their own value through
+    /// [`Workload::run_spec`] — both knobs are currently the workspace
+    /// default of 0.1.
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// The live configuration of the natural regime: arrival-clamped
+    /// starts (packets cannot be processed before they exist), a
+    /// `capacity`-deep NIC queue, tail drop.
+    pub fn line_config(&self, capacity: usize) -> StreamConfig {
+        StreamConfig {
+            chaining: CycleChaining::ArrivalClamped,
+            capacity,
+            policy: OverloadPolicy::DropNewest,
+        }
+    }
+
+    /// A spec list in the natural regime: mostly bursty arrivals (three
+    /// streams in four; the fourth is periodic as the control group), one
+    /// seed per stream.
+    pub fn streaming_specs(&self, streams: usize, cycles: usize) -> Vec<StreamSpec<()>> {
+        (0..streams)
+            .map(|i| {
+                let arrival = if i % 4 == 3 {
+                    ArrivalSpec::Periodic
+                } else {
+                    ArrivalSpec::Bursty { max_burst: 8 }
+                };
+                StreamSpec::new((), 900 + i as u64, cycles).with_arrival(arrival)
+            })
+            .collect()
+    }
+
+    /// Shard `specs` over `workers` threads under [`Self::line_config`].
+    pub fn run_fleet(&self, specs: &[StreamSpec<()>], workers: usize) -> FleetSummary {
+        let config = self.line_config(4);
+        FleetRunner::new(workers).run(specs, |spec, scratch| {
+            self.run_spec(config, spec, self.jitter, scratch)
+        })
+    }
+
+    /// The serial reference every [`Self::run_fleet`] result must equal.
+    pub fn run_serial(&self, specs: &[StreamSpec<()>]) -> FleetSummary {
+        let config = self.line_config(4);
+        let mut scratch = StreamScratch::default();
+        FleetSummary::from_streams(
+            specs
+                .iter()
+                .map(|spec| {
+                    scratch.records.clear();
+                    self.run_spec(config, spec, self.jitter, &mut scratch)
+                })
+                .collect(),
+        )
+    }
+
+    /// The scenario menu `bench_net` reports: nominal-rate traffic under
+    /// tail drop (the natural regime), and a 1.43× overloaded burst train
+    /// under each shedding policy.
+    pub fn scenarios() -> Vec<StreamScenario> {
+        vec![
+            StreamScenario {
+                name: "periodic/block",
+                arrival: ArrivalSpec::Periodic,
+                period_pct: 100,
+                capacity: 8,
+                policy: OverloadPolicy::Block,
+            },
+            StreamScenario {
+                name: "bursty8/drop-newest",
+                arrival: ArrivalSpec::Bursty { max_burst: 8 },
+                period_pct: 100,
+                capacity: 8,
+                policy: OverloadPolicy::DropNewest,
+            },
+            StreamScenario {
+                name: "bursty8-overload/block",
+                arrival: ArrivalSpec::Bursty { max_burst: 8 },
+                period_pct: 70,
+                capacity: 4,
+                policy: OverloadPolicy::Block,
+            },
+            StreamScenario {
+                name: "bursty8-overload/drop-newest",
+                arrival: ArrivalSpec::Bursty { max_burst: 8 },
+                period_pct: 70,
+                capacity: 4,
+                policy: OverloadPolicy::DropNewest,
+            },
+            StreamScenario {
+                name: "bursty8-overload/skip-to-latest",
+                arrival: ArrivalSpec::Bursty { max_burst: 8 },
+                period_pct: 70,
+                capacity: 4,
+                policy: OverloadPolicy::SkipToLatest,
+            },
+        ]
+    }
+
+    /// Run one scenario for `batches` arrivals, live-clamped.
+    pub fn run_scenario(
+        &self,
+        scenario: &StreamScenario,
+        batches: usize,
+        seed: u64,
+    ) -> StreamSummary {
+        let mut source = scenario.source(self.period(), batches, seed);
+        self.run_streaming(
+            StreamConfig {
+                chaining: CycleChaining::ArrivalClamped,
+                capacity: scenario.capacity,
+                policy: scenario.policy,
+            },
+            &mut source,
+            self.jitter,
+            seed,
+            &mut sqm_core::engine::NullSink,
+        )
+    }
+}
+
+impl Workload for NetExperiment {
+    type Exec<'a> = NetExec<'a>;
+
+    fn label(&self) -> &'static str {
+        "net/regions"
+    }
+
+    /// The packet pipeline runs on a line-card-class core, not the
+    /// embedded core the default calibration models: per-decision cost is
+    /// rescaled so managing a 2–8 µs action does not cost 17 µs.
+    fn overhead(&self) -> sqm_core::controller::OverheadModel {
+        sqm_platform::overhead::net_regions()
+    }
+
+    fn system(&self) -> &ParameterizedSystem {
+        self.net.system()
+    }
+
+    fn period(&self) -> Time {
+        self.net.config().batch_period()
+    }
+
+    fn regions(&self) -> &QualityRegionTable {
+        &self.regions
+    }
+
+    fn exec_source(&self, jitter: f64, seed: u64) -> NetExec<'_> {
+        self.net.exec(jitter, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqm_core::engine::NullSink;
+    use sqm_core::source::Periodic;
+
+    #[test]
+    fn periodic_block_streaming_matches_closed_loop() {
+        let exp = NetExperiment::tiny(7);
+        for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
+            let closed = exp.run_closed(4, chaining, exp.jitter(), 11, &mut NullSink);
+            let streamed = exp.run_streaming(
+                StreamConfig {
+                    chaining,
+                    capacity: 2,
+                    policy: OverloadPolicy::Block,
+                },
+                &mut Periodic::new(exp.period(), 4),
+                exp.jitter(),
+                11,
+                &mut NullSink,
+            );
+            assert_eq!(streamed.run, closed, "{chaining:?}");
+        }
+    }
+
+    #[test]
+    fn nominal_rate_tail_drop_is_lossless_but_overload_sheds() {
+        let exp = NetExperiment::tiny(7);
+        let scenarios = NetExperiment::scenarios();
+        let nominal = scenarios
+            .iter()
+            .find(|s| s.name == "bursty8/drop-newest")
+            .unwrap();
+        let out = exp.run_scenario(nominal, 24, 11);
+        assert_eq!(out.stats.arrived, 24);
+        // At the nominal line rate the pipeline keeps up: bursts queue but
+        // the policy never has to act.
+        assert_eq!(out.stats.dropped, 0, "nominal rate must be sustainable");
+        assert!(out.stats.max_backlog > 0, "bursts actually queue");
+
+        let overload = scenarios
+            .iter()
+            .find(|s| s.name == "bursty8-overload/drop-newest")
+            .unwrap();
+        let out = exp.run_scenario(overload, 24, 11);
+        assert!(out.stats.dropped > 0, "1.43x overload must shed");
+        assert_eq!(out.stats.processed + out.stats.dropped, 24);
+    }
+
+    #[test]
+    fn net_fleet_is_deterministic_across_worker_counts() {
+        let exp = NetExperiment::tiny(7);
+        let specs = exp.streaming_specs(8, 2);
+        assert!(specs
+            .iter()
+            .any(|s| s.arrival == ArrivalSpec::Bursty { max_burst: 8 }));
+        assert!(specs.iter().any(|s| s.arrival == ArrivalSpec::Periodic));
+        let serial = exp.run_serial(&specs);
+        assert_eq!(serial.n_streams(), 8);
+        for workers in 1..=4 {
+            assert_eq!(serial, exp.run_fleet(&specs, workers), "workers={workers}");
+        }
+    }
+}

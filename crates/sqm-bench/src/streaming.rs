@@ -34,6 +34,18 @@ pub struct StreamScenario {
     pub policy: OverloadPolicy,
 }
 
+impl StreamScenario {
+    /// Build the scenario's concrete source against a workload's nominal
+    /// period: `frames` arrivals spaced at `period_pct`% of `nominal`
+    /// (below 100 = overload), seeded deterministically.
+    pub fn source(&self, nominal: Time, frames: usize, seed: u64) -> PatternSource {
+        let period = Time::from_ns(nominal.as_ns() * i64::from(self.period_pct) / 100);
+        self.arrival
+            .build(period, frames, seed)
+            .expect("scenarios never use ArrivalSpec::Closed")
+    }
+}
+
 /// The streaming experiment: the `small` paper encoder behind the
 /// event-driven front-end.
 pub struct StreamingExperiment {
@@ -122,11 +134,7 @@ impl StreamingExperiment {
 
     /// Build the scenario's concrete source for `frames` arrivals.
     pub fn source(&self, scenario: &StreamScenario, frames: usize, seed: u64) -> PatternSource {
-        let period = Time::from_ns(self.period().as_ns() * i64::from(scenario.period_pct) / 100);
-        scenario
-            .arrival
-            .build(period, frames, seed)
-            .expect("scenarios never use ArrivalSpec::Closed")
+        scenario.source(self.period(), frames, seed)
     }
 
     /// Run one scenario for `frames` arrivals under `kind`, live-clamped

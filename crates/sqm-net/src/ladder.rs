@@ -1,0 +1,154 @@
+//! The per-packet quality ladder.
+//!
+//! The paper's quality level is one scalar; a packet pipeline spends its
+//! budget on three levers at once — cryptographic strength, compression
+//! effort, and deep-packet-inspection depth. A [`QualityLadder`] maps each
+//! scalar quality level to one [`Rung`] fixing all three, **monotone in
+//! every lever** so Definition 1's non-decreasing execution times hold by
+//! construction: stepping the manager's quality up never makes any stage
+//! cheaper.
+
+use sqm_core::quality::Quality;
+
+/// Cipher strength applied by the crypto stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CryptoStrength {
+    /// Integrity only: checksum, no encryption.
+    Integrity,
+    /// Lightweight stream cipher (few ARX rounds).
+    Light,
+    /// Standard cipher (full ARX rounds).
+    Standard,
+    /// Strong cipher (double rounds + rekey).
+    Strong,
+}
+
+impl CryptoStrength {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CryptoStrength::Integrity => "integrity",
+            CryptoStrength::Light => "light",
+            CryptoStrength::Standard => "standard",
+            CryptoStrength::Strong => "strong",
+        }
+    }
+
+    /// ARX mixing rounds the kernel runs per payload word.
+    pub fn rounds(self) -> usize {
+        match self {
+            CryptoStrength::Integrity => 1,
+            CryptoStrength::Light => 4,
+            CryptoStrength::Standard => 8,
+            CryptoStrength::Strong => 16,
+        }
+    }
+}
+
+/// One rung of the ladder: the lever settings of a single quality level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rung {
+    /// Cipher strength.
+    pub crypto: CryptoStrength,
+    /// Compression effort level `0..=9` (0 = store, 9 = max effort).
+    pub compression: u8,
+    /// How many payload bytes DPI inspects.
+    pub dpi_depth: usize,
+}
+
+/// Maps scalar quality levels to lever settings, monotone per lever.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QualityLadder {
+    rungs: Vec<Rung>,
+}
+
+impl QualityLadder {
+    /// The standard ladder for `n` quality levels (`n ≥ 1`): levers ramp
+    /// from (integrity, store, 64 B peek) at the bottom to (strong cipher,
+    /// max-effort compression, 2 KiB inspection) at the top.
+    pub fn standard(n: usize) -> QualityLadder {
+        let n = n.max(1);
+        let rungs = (0..n)
+            .map(|q| {
+                // Position in [0, 1] (a single rung sits at the bottom).
+                let t = if n == 1 {
+                    0.0
+                } else {
+                    q as f64 / (n - 1) as f64
+                };
+                let crypto = match (t * 3.0).round() as usize {
+                    0 => CryptoStrength::Integrity,
+                    1 => CryptoStrength::Light,
+                    2 => CryptoStrength::Standard,
+                    _ => CryptoStrength::Strong,
+                };
+                Rung {
+                    crypto,
+                    compression: (t * 9.0).round() as u8,
+                    dpi_depth: 64 + (t * (2_048.0 - 64.0)).round() as usize,
+                }
+            })
+            .collect();
+        QualityLadder { rungs }
+    }
+
+    /// Number of rungs (= quality levels).
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// `true` for an empty ladder (never produced by the constructors).
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    /// The rung of a quality level (clamped to the top).
+    pub fn rung(&self, q: Quality) -> Rung {
+        self.rungs[q.index().min(self.rungs.len() - 1)]
+    }
+
+    /// All rungs, bottom to top.
+    pub fn rungs(&self) -> &[Rung] {
+        &self.rungs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_ladder_is_monotone_in_every_lever() {
+        for n in 1..=9 {
+            let ladder = QualityLadder::standard(n);
+            assert_eq!(ladder.len(), n);
+            for w in ladder.rungs().windows(2) {
+                assert!(w[1].crypto >= w[0].crypto, "crypto monotone");
+                assert!(w[1].compression >= w[0].compression, "compression monotone");
+                assert!(w[1].dpi_depth >= w[0].dpi_depth, "dpi monotone");
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_spans_the_lever_ranges() {
+        let ladder = QualityLadder::standard(5);
+        let bottom = ladder.rungs()[0];
+        let top = ladder.rungs()[4];
+        assert_eq!(bottom.crypto, CryptoStrength::Integrity);
+        assert_eq!(top.crypto, CryptoStrength::Strong);
+        assert_eq!(bottom.compression, 0);
+        assert_eq!(top.compression, 9);
+        assert_eq!(bottom.dpi_depth, 64);
+        assert_eq!(top.dpi_depth, 2_048);
+    }
+
+    #[test]
+    fn rung_lookup_clamps() {
+        let ladder = QualityLadder::standard(3);
+        assert_eq!(ladder.rung(Quality::new(9)), ladder.rungs()[2]);
+        assert!(!ladder.is_empty());
+        assert!(CryptoStrength::Strong.rounds() > CryptoStrength::Integrity.rounds());
+        assert_eq!(CryptoStrength::Light.label(), "light");
+    }
+}

@@ -1,0 +1,34 @@
+//! # sqm-net — network packet-pipeline workload
+//!
+//! A third application domain for the quality-management method, and the
+//! stress case for the event-driven front-end: packets arrive in bursts at
+//! times the controller does not choose, and the deadline is not an
+//! artistic choice but a **line-rate budget** — at `R` Mbit/s a batch of
+//! `P` average-size packets must clear the pipeline in the time it
+//! occupies the wire, or the NIC queue grows without bound. One cycle
+//! processes a batch of packets through four atomic actions each:
+//!
+//! 1. **parse** — header parse + flow classification ([`packet`]);
+//! 2. **dpi** — deep packet inspection to the rung's depth;
+//! 3. **crypto** — encryption at the rung's cipher strength;
+//! 4. **compress** — compression at the rung's effort level, then forward.
+//!
+//! The scalar quality level decomposes through a [`ladder::QualityLadder`]
+//! into three monotone levers — DPI depth × cipher strength × compression
+//! effort — so execution times are non-decreasing in quality exactly as
+//! Definition 1 requires. [`pipeline`] assembles the scheduled
+//! [`sqm_core::system::ParameterizedSystem`] with per-stage cost tables
+//! calibrated against the line-rate budget, plus a content-driven
+//! execution-time source over a deterministic [`packet`] traffic
+//! generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ladder;
+pub mod packet;
+pub mod pipeline;
+
+pub use ladder::{CryptoStrength, QualityLadder, Rung};
+pub use packet::{Packet, Proto, SyntheticTraffic};
+pub use pipeline::{NetConfig, NetExec, NetPipeline, NetStage};

@@ -32,6 +32,11 @@
 //!   (quality level ↦ CPU frequency, energy minimization without misses).
 //! * [`audio`] — a second application domain: an adaptive transform audio
 //!   codec (FFT, subbands, psychoacoustic bit allocation).
+//! * [`net`] — a third domain and the streaming front-end's stress case: a
+//!   network packet pipeline (parse → DPI → crypto → compress) whose
+//!   quality level decomposes into DPI depth × cipher strength ×
+//!   compression effort, against deadlines derived from line-rate
+//!   budgets.
 //!
 //! See `ARCHITECTURE.md` at the repository root for how the layers stack
 //! (workloads → managers → engine → fleet → bench).
@@ -159,5 +164,6 @@ pub use sqm_core::fleet;
 pub use sqm_core::source;
 pub use sqm_core::stream;
 pub use sqm_mpeg as mpeg;
+pub use sqm_net as net;
 pub use sqm_platform as platform;
 pub use sqm_power as power;

@@ -1,0 +1,94 @@
+//! Golden-trace helpers: a stable, line-oriented text form of a [`Trace`]
+//! and a compare-or-bless harness.
+//!
+//! The format is deliberately dumb — one header line per cycle, one line
+//! per action record, all times in integer nanoseconds — so diffs against
+//! a pinned snapshot read like an engine changelog. Regenerate with
+//! `BLESS=1 cargo test --test golden` after an *intentional* engine
+//! change.
+
+use speed_qm::core::trace::Trace;
+use std::path::PathBuf;
+
+/// Serialize a trace to the golden text form.
+pub fn trace_to_string(trace: &Trace) -> String {
+    let mut out = String::new();
+    for c in &trace.cycles {
+        out.push_str(&format!("cycle {} start {}\n", c.cycle, c.start.as_ns()));
+        for r in &c.records {
+            out.push_str(&format!(
+                "  a{} q{} d{} w{} oh{} s{} x{} e{} m{} i{}\n",
+                r.action,
+                r.quality.index(),
+                u8::from(r.decided),
+                r.qm_work,
+                r.qm_overhead.as_ns(),
+                r.start.as_ns(),
+                r.duration.as_ns(),
+                r.end.as_ns(),
+                u8::from(r.missed_deadline),
+                u8::from(r.infeasible),
+            ));
+        }
+    }
+    out
+}
+
+/// Absolute path of a golden file.
+pub fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// `true` when the run should overwrite snapshots instead of comparing.
+pub fn blessing() -> bool {
+    std::env::var_os("BLESS").is_some_and(|v| v == "1")
+}
+
+/// Compare `actual` against the pinned snapshot `name`, or overwrite it
+/// under `BLESS=1`. On mismatch, panics with the first differing line —
+/// not the whole multi-kilobyte blob.
+pub fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if blessing() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden");
+        println!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             `BLESS=1 cargo test --test golden`",
+            path.display()
+        )
+    });
+    if actual == expected {
+        return;
+    }
+    let (mut line_no, mut want, mut got) = (0usize, "<missing>", "<missing>");
+    for (i, pair) in expected
+        .lines()
+        .map(Some)
+        .chain(std::iter::repeat(None))
+        .zip(actual.lines().map(Some).chain(std::iter::repeat(None)))
+        .enumerate()
+    {
+        match pair {
+            (None, None) => break,
+            (e, a) if e != a => {
+                line_no = i + 1;
+                want = e.unwrap_or("<missing>");
+                got = a.unwrap_or("<missing>");
+                break;
+            }
+            _ => {}
+        }
+    }
+    panic!(
+        "golden trace drift in {} at line {line_no}:\n  expected: {want}\n  actual:   {got}\n\
+         engine output changed — if intentional, regenerate with `BLESS=1 cargo test --test golden`",
+        path.display()
+    );
+}

@@ -1,6 +1,8 @@
 //! Shared generators for the workspace property tests.
 #![allow(dead_code)] // each test binary uses a subset of the helpers
 
+pub mod golden;
+
 use proptest::prelude::*;
 use speed_qm::core::prelude::*;
 
@@ -73,6 +75,27 @@ pub fn arb_system() -> impl Strategy<Value = ArbSystem> {
                     .map(|system| ArbSystem { system, fractions })
             },
         )
+}
+
+/// The decision-overhead model shared by the cross-path identity and
+/// property suites (`tests/conformance.rs`, `tests/sources.rs`,
+/// `tests/streaming.rs`).
+pub const OVERHEAD: OverheadModel = OverheadModel::new(Time::from_ns(2), Time::from_ns(1));
+
+/// Deterministic, admissible actual times shared by the cross-path
+/// suites: a fraction of `Cwc` drawn from the system's fraction table by
+/// `(action + cycle)`, so successive cycles sample different rows. Every
+/// suite must use this one definition — the "same inputs" premise of the
+/// path identities depends on it.
+pub fn cycle_fraction_exec<'a>(
+    sys: &'a ParameterizedSystem,
+    fractions: &'a [f64],
+) -> impl ExecutionTimeSource + 'a {
+    let n = fractions.len();
+    FnExec(move |cycle: usize, action: usize, q: Quality| {
+        let wc = sys.table().wc(action, q).as_ns() as f64;
+        Time::from_ns((wc * fractions[(action + cycle) % n]).floor() as i64)
+    })
 }
 
 /// Replay execution times as `fraction · Cwc(a, q)` — admissible by

@@ -1,0 +1,249 @@
+//! Cross-path conformance suite — the single source of truth for the
+//! workspace's execution-path identities.
+//!
+//! Four reductions of the same run exist: the **serial** closed loop
+//! (`Engine::run_cycles`), the **trace-replay** reconstruction
+//! (`Trace::run_summary`), the **1-worker fleet** (`FleetRunner` driving
+//! one spec), and **Periodic + Block streaming**
+//! (`StreamingRunner`). They must agree **byte for byte** — one
+//! `RunSummary` semantics, no matter which path computed it — for *every*
+//! registered workload (MPEG, audio, net) under *both* [`CycleChaining`]
+//! variants, and over arbitrary feasible systems. This file replaces the
+//! per-path identity tests that used to be scattered across
+//! `tests/streaming.rs`, the fleet harness and the bench binaries'
+//! inline gates; per the II-CC-FF idea of combining evidence across
+//! diverse sources, every workload added to the workspace doubles as an
+//! independent witness that the reductions agree.
+
+mod common;
+
+use common::{arb_system, cycle_fraction_exec, OVERHEAD};
+use proptest::prelude::*;
+use speed_qm::core::prelude::*;
+use speed_qm::mpeg::EncoderConfig;
+use sqm_bench::{AudioExperiment, ManagerKind, NetExperiment, PaperExperiment, Workload};
+
+const JITTER: f64 = 0.1;
+const SEED: u64 = 11;
+const CYCLES: usize = 4;
+
+fn mpeg_tiny() -> PaperExperiment {
+    PaperExperiment::with_config_and_rho(
+        EncoderConfig::tiny(3),
+        StepSet::new(vec![1, 2, 3, 4]).unwrap(),
+    )
+}
+
+/// The parameterized core of the suite: all four execution paths produce
+/// the same `RunSummary` for workload `w`, under both chaining variants;
+/// the two chaining variants themselves must differ (the knob is live).
+fn assert_conformance<W: Workload + Sync>(w: &W) {
+    let mut per_chaining = Vec::new();
+    for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
+        let label = w.label();
+        let config = StreamConfig {
+            chaining,
+            capacity: 2,
+            policy: OverloadPolicy::Block,
+        };
+
+        // Path 1 — serial closed loop (the reference), recording a trace.
+        let mut trace = speed_qm::core::trace::Trace::default();
+        let serial = w.run_closed(CYCLES, chaining, JITTER, SEED, &mut trace);
+        assert_eq!(serial.cycles, CYCLES, "{label} {chaining:?}");
+        assert!(serial.actions > 0, "{label} {chaining:?}");
+
+        // Path 2 — trace-replay reconstruction.
+        assert_eq!(
+            trace.run_summary(),
+            serial,
+            "{label} {chaining:?}: trace-replay != serial"
+        );
+
+        // Path 3 — the fleet: a single closed spec on one worker is the
+        // stream itself; a spec list folded serially equals every worker
+        // count.
+        let specs: Vec<StreamSpec<()>> = (0..3)
+            .map(|i| StreamSpec::new((), SEED + i, CYCLES))
+            .collect();
+        let serial_fold = {
+            let mut scratch = StreamScratch::default();
+            FleetSummary::from_streams(
+                specs
+                    .iter()
+                    .map(|spec| {
+                        scratch.records.clear();
+                        w.run_spec(config, spec, JITTER, &mut scratch)
+                    })
+                    .collect(),
+            )
+        };
+        assert_eq!(
+            *serial_fold.stream(0),
+            serial,
+            "{label} {chaining:?}: fleet spec != serial"
+        );
+        for workers in 1..=3 {
+            let fleet = FleetRunner::new(workers).run(&specs, |spec, scratch| {
+                w.run_spec(config, spec, JITTER, scratch)
+            });
+            assert_eq!(
+                fleet, serial_fold,
+                "{label} {chaining:?}: fleet({workers}) != serial fold"
+            );
+        }
+
+        // Path 4 — Periodic + Block streaming: the closed loop is a
+        // special case of the event-driven front-end.
+        let streamed = w.run_streaming(
+            config,
+            &mut Periodic::new(w.period(), CYCLES),
+            JITTER,
+            SEED,
+            &mut NullSink,
+        );
+        assert_eq!(
+            streamed.run, serial,
+            "{label} {chaining:?}: streaming != serial"
+        );
+        assert_eq!(streamed.stats.processed, CYCLES);
+        assert_eq!(streamed.stats.dropped, 0);
+
+        // And a periodic event-sourced fleet spec collapses to the same
+        // stream as the closed spec.
+        let periodic_spec = StreamSpec::new((), SEED, CYCLES).with_arrival(ArrivalSpec::Periodic);
+        let mut scratch = StreamScratch::default();
+        assert_eq!(
+            w.run_spec(config, &periodic_spec, JITTER, &mut scratch),
+            serial,
+            "{label} {chaining:?}: periodic fleet spec != serial"
+        );
+
+        per_chaining.push(serial);
+    }
+    assert_ne!(
+        per_chaining[0],
+        per_chaining[1],
+        "{}: the chaining knob must actually change the run",
+        w.label()
+    );
+}
+
+#[test]
+fn mpeg_workload_conforms_across_all_paths() {
+    assert_conformance(&mpeg_tiny());
+}
+
+#[test]
+fn audio_workload_conforms_across_all_paths() {
+    assert_conformance(&AudioExperiment::tiny(3));
+}
+
+#[test]
+fn net_workload_conforms_across_all_paths() {
+    assert_conformance(&NetExperiment::tiny(3));
+}
+
+/// The MPEG harness's manager-specific paths (numeric and relaxation are
+/// not reachable through the uniform `Workload` seam) honour the same
+/// identities: closed `run_into` ≡ trace-replay ≡ Periodic+Block
+/// `run_stream_into`, for every manager kind × both chaining variants.
+#[test]
+fn mpeg_manager_kinds_conform_across_paths() {
+    for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
+        let exp = mpeg_tiny().with_chaining(chaining);
+        let period = exp.encoder.config().frame_period;
+        for kind in ManagerKind::ALL {
+            let mut trace = speed_qm::core::trace::Trace::default();
+            let serial = exp.run_into(kind, CYCLES, JITTER, SEED, None, &mut trace);
+            assert_eq!(
+                trace.run_summary(),
+                serial,
+                "{kind:?} {chaining:?}: trace-replay != serial"
+            );
+            let streamed = exp.run_stream_into(
+                kind,
+                JITTER,
+                SEED,
+                StreamConfig {
+                    chaining,
+                    capacity: 2,
+                    policy: OverloadPolicy::Block,
+                },
+                &mut Periodic::new(period, CYCLES),
+                &mut NullSink,
+            );
+            assert_eq!(
+                streamed.run, serial,
+                "{kind:?} {chaining:?}: streaming != serial"
+            );
+            assert_eq!(streamed.stats.dropped, 0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The same four-path identity over *arbitrary* feasible systems under
+    /// the numeric manager — summaries *and* full streaming traces.
+    #[test]
+    fn all_paths_agree_on_arbitrary_systems(arb in arb_system(), cycles in 1usize..5) {
+        let sys = &arb.system;
+        let policy = MixedPolicy::new(sys);
+        let period = sys.final_deadline();
+        for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
+            // Path 1 — serial.
+            let mut closed_trace = Trace::default();
+            let closed = Engine::new(sys, NumericManager::new(sys, &policy), OVERHEAD)
+                .run_cycles(
+                    cycles,
+                    period,
+                    chaining,
+                    &mut cycle_fraction_exec(sys, &arb.fractions),
+                    &mut closed_trace,
+                );
+
+            // Path 2 — trace replay.
+            prop_assert_eq!(closed_trace.run_summary(), closed, "{:?}", chaining);
+
+            // Path 3 — 1-worker fleet over a single spec.
+            let specs = [StreamSpec::new((), 0u64, cycles)];
+            let fleet = FleetRunner::new(1).run(&specs, |spec, scratch| {
+                let mut sink = RecordBuffer::new(&mut scratch.records);
+                Engine::new(sys, NumericManager::new(sys, &policy), OVERHEAD).run_cycles(
+                    spec.cycles,
+                    period,
+                    chaining,
+                    &mut cycle_fraction_exec(sys, &arb.fractions),
+                    &mut sink,
+                )
+            });
+            prop_assert_eq!(*fleet.stream(0), closed, "{:?}", chaining);
+
+            // Path 4 — Periodic + Block streaming, traces compared record
+            // by record.
+            let mut stream_trace = Trace::default();
+            let out = StreamingRunner::new(StreamConfig {
+                chaining,
+                capacity: 3,
+                policy: OverloadPolicy::Block,
+            })
+            .run(
+                &mut Engine::new(sys, NumericManager::new(sys, &policy), OVERHEAD),
+                &mut Periodic::new(period, cycles),
+                &mut cycle_fraction_exec(sys, &arb.fractions),
+                &mut stream_trace,
+            );
+            prop_assert_eq!(out.run, closed, "{:?}", chaining);
+            prop_assert_eq!(closed_trace.cycles.len(), stream_trace.cycles.len());
+            for (a, b) in closed_trace.cycles.iter().zip(&stream_trace.cycles) {
+                prop_assert_eq!(a.cycle, b.cycle);
+                prop_assert_eq!(a.start, b.start);
+                prop_assert_eq!(&a.records, &b.records);
+            }
+            prop_assert_eq!(out.stats.processed, cycles);
+            prop_assert_eq!(out.stats.dropped, 0);
+        }
+    }
+}

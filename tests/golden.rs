@@ -1,0 +1,61 @@
+//! Golden-trace regression corpus: small seeded engine traces pinned as
+//! text snapshots under `tests/golden/`.
+//!
+//! The conformance suite proves the execution paths agree *with each
+//! other*; this suite pins them against **recorded engine output**, so a
+//! refactor that changes behaviour on every path at once (and would slip
+//! through self-consistency checks) still trips a diff. One snapshot per
+//! workload × chaining mode, 3 cycles each, regions manager, jitter 0.1,
+//! seed 11.
+//!
+//! After an intentional engine change, regenerate with
+//! `BLESS=1 cargo test --test golden` and review the snapshot diff like
+//! any other code change.
+
+mod common;
+
+use common::golden::{assert_matches_golden, trace_to_string};
+use speed_qm::core::engine::CycleChaining;
+use speed_qm::core::relaxation::StepSet;
+use speed_qm::core::trace::Trace;
+use speed_qm::mpeg::EncoderConfig;
+use sqm_bench::{AudioExperiment, NetExperiment, PaperExperiment, Workload};
+
+const JITTER: f64 = 0.1;
+const SEED: u64 = 11;
+const CYCLES: usize = 3;
+
+fn check<W: Workload>(w: &W, name: &str) {
+    for (chaining, tag) in [
+        (CycleChaining::WorkConserving, "wc"),
+        (CycleChaining::ArrivalClamped, "ac"),
+    ] {
+        let mut trace = Trace::default();
+        let run = w.run_closed(CYCLES, chaining, JITTER, SEED, &mut trace);
+        // Sanity that the snapshot pins a non-trivial run.
+        assert_eq!(run.cycles, CYCLES);
+        assert!(run.actions > 0);
+        assert_matches_golden(&format!("{name}_{tag}.trace"), &trace_to_string(&trace));
+    }
+}
+
+#[test]
+fn mpeg_trace_matches_golden() {
+    check(
+        &PaperExperiment::with_config_and_rho(
+            EncoderConfig::tiny(3),
+            StepSet::new(vec![1, 2, 3, 4]).unwrap(),
+        ),
+        "mpeg",
+    );
+}
+
+#[test]
+fn audio_trace_matches_golden() {
+    check(&AudioExperiment::tiny(3), "audio");
+}
+
+#[test]
+fn net_trace_matches_golden() {
+    check(&NetExperiment::tiny(3), "net");
+}

@@ -1,76 +1,46 @@
-//! Property tests for the event-driven streaming front-end
-//! (`sqm_core::source` + `sqm_core::stream`).
+//! Property tests for the streaming front-end's **overload behaviour**
+//! (`sqm_core::stream`): frame conservation, backlog bounds and
+//! determinism for every overload policy under hostile traffic.
 //!
-//! The load-bearing property: the closed loop is a *special case* of
-//! streaming — a [`Periodic`] source under the `Block` overload policy is
-//! byte-identical to [`Engine::run_cycles`] for **both** [`CycleChaining`]
-//! variants, over arbitrary feasible systems and admissible actual times.
-//! On top of that: frame conservation and determinism for every overload
-//! policy under bursty traffic.
+//! The cross-path identities (streaming ≡ closed loop ≡ trace-replay ≡
+//! fleet) live in `tests/conformance.rs`; arrival-source properties live
+//! in `tests/sources.rs`.
 
 mod common;
 
-use common::arb_system;
+use common::{arb_system, cycle_fraction_exec, OVERHEAD};
 use proptest::prelude::*;
 use speed_qm::core::prelude::*;
 
-const OVERHEAD: OverheadModel = OverheadModel::new(Time::from_ns(2), Time::from_ns(1));
+/// Wraps a source and counts what it actually yields, so conservation can
+/// be checked against the *generated* frame count rather than trusting the
+/// runner's own `arrived` counter.
+struct Counting<A> {
+    inner: A,
+    generated: usize,
+}
 
-/// Deterministic, admissible actual times: a fraction of `Cwc` drawn from
-/// the system's fraction table by `(action + cycle)`.
-fn exec<'a>(sys: &'a ParameterizedSystem, fractions: &'a [f64]) -> impl ExecutionTimeSource + 'a {
-    let n = fractions.len();
-    FnExec(move |cycle: usize, action: usize, q: Quality| {
-        let wc = sys.table().wc(action, q).as_ns() as f64;
-        Time::from_ns((wc * fractions[(action + cycle) % n]).floor() as i64)
-    })
+impl<A> Counting<A> {
+    fn new(inner: A) -> Counting<A> {
+        Counting {
+            inner,
+            generated: 0,
+        }
+    }
+}
+
+impl<A: ArrivalSource> ArrivalSource for Counting<A> {
+    fn next_arrival(&mut self) -> Option<Time> {
+        let t = self.inner.next_arrival();
+        if t.is_some() {
+            self.generated += 1;
+        }
+        t
+    }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Streaming(Periodic, Block) ≡ Engine::run_cycles, byte for byte —
-    /// summaries *and* full traces — under both chaining variants.
-    #[test]
-    fn periodic_block_equals_closed_loop(arb in arb_system(), cycles in 1usize..5) {
-        let sys = &arb.system;
-        let policy = MixedPolicy::new(sys);
-        let period = sys.final_deadline();
-        for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
-            let mut closed_trace = Trace::default();
-            let closed = Engine::new(sys, NumericManager::new(sys, &policy), OVERHEAD)
-                .run_cycles(
-                    cycles,
-                    period,
-                    chaining,
-                    &mut exec(sys, &arb.fractions),
-                    &mut closed_trace,
-                );
-
-            let mut stream_trace = Trace::default();
-            let out = StreamingRunner::new(StreamConfig {
-                chaining,
-                capacity: 3,
-                policy: OverloadPolicy::Block,
-            })
-            .run(
-                &mut Engine::new(sys, NumericManager::new(sys, &policy), OVERHEAD),
-                &mut Periodic::new(period, cycles),
-                &mut exec(sys, &arb.fractions),
-                &mut stream_trace,
-            );
-
-            prop_assert_eq!(out.run, closed, "{:?}", chaining);
-            prop_assert_eq!(closed_trace.cycles.len(), stream_trace.cycles.len());
-            for (a, b) in closed_trace.cycles.iter().zip(&stream_trace.cycles) {
-                prop_assert_eq!(a.cycle, b.cycle);
-                prop_assert_eq!(a.start, b.start);
-                prop_assert_eq!(&a.records, &b.records);
-            }
-            prop_assert_eq!(out.stats.processed, cycles);
-            prop_assert_eq!(out.stats.dropped, 0);
-        }
-    }
 
     /// Every overload policy conserves frames (processed + dropped =
     /// arrived), respects the backlog bound in its stats, and is
@@ -98,7 +68,7 @@ proptest! {
                 StreamingRunner::new(config).run(
                     &mut Engine::new(sys, NumericManager::new(sys, &policy), OVERHEAD),
                     &mut Bursty::new(hot, max_burst, frames, 17),
-                    &mut exec(sys, &arb.fractions),
+                    &mut cycle_fraction_exec(sys, &arb.fractions),
                     &mut NullSink,
                 )
             };
@@ -120,32 +90,63 @@ proptest! {
         }
     }
 
-    /// Replaying a source's recorded timestamps through `TraceReplay`
-    /// reproduces the original run byte-for-byte.
+    /// Drop accounting against an *independent* witness: once the source
+    /// is drained nothing is left pending, so for every overload policy
+    /// `dropped + completed (+ 0 pending) == generated`, where `generated`
+    /// is counted by a wrapper around the source itself — the runner's own
+    /// `arrived` counter must agree with it, and the sink must have seen
+    /// exactly the completed cycles.
     #[test]
-    fn trace_replay_reproduces_the_live_run(arb in arb_system(), frames in 1usize..16) {
+    fn drop_accounting_balances_against_generated_frames(
+        arb in arb_system(),
+        capacity in 1usize..4,
+        frames in 1usize..24,
+        period_pct in 20i64..120,
+    ) {
         let sys = &arb.system;
         let policy = MixedPolicy::new(sys);
-        let period = sys.final_deadline();
-        let jitter = Time::from_ns(period.as_ns() / 4);
-        let mut capture = Jittered::new(period, jitter, frames, 23);
-        let mut times = Vec::new();
-        while let Some(t) = capture.next_arrival() {
-            times.push(t);
+        let period = Time::from_ns((sys.final_deadline().as_ns() * period_pct / 100).max(1));
+        for overload in [
+            OverloadPolicy::Block,
+            OverloadPolicy::DropNewest,
+            OverloadPolicy::SkipToLatest,
+        ] {
+            for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
+                let mut source = Counting::new(Bursty::new(period, 5, frames, 23));
+                let mut trace = Trace::default();
+                let out = StreamingRunner::new(StreamConfig {
+                    chaining,
+                    capacity,
+                    policy: overload,
+                })
+                .run(
+                    &mut Engine::new(sys, NumericManager::new(sys, &policy), OVERHEAD),
+                    &mut source,
+                    &mut cycle_fraction_exec(sys, &arb.fractions),
+                    &mut trace,
+                );
+                // The source is fully drained: nothing is pending, so the
+                // ledger closes exactly.
+                prop_assert_eq!(
+                    source.generated, frames,
+                    "{:?}/{:?}: the runner must drain the source", overload, chaining
+                );
+                prop_assert_eq!(
+                    out.stats.arrived, source.generated,
+                    "{:?}/{:?}: arrived must count every generated frame", overload, chaining
+                );
+                prop_assert_eq!(
+                    out.stats.processed + out.stats.dropped,
+                    source.generated,
+                    "{:?}/{:?}: dropped + completed + pending(0) == generated", overload, chaining
+                );
+                // The sink is a second witness for `completed`.
+                prop_assert_eq!(trace.cycles.len(), out.stats.processed);
+                prop_assert_eq!(out.run.cycles, out.stats.processed);
+                if chaining == CycleChaining::WorkConserving || overload == OverloadPolicy::Block {
+                    prop_assert_eq!(out.stats.dropped, 0);
+                }
+            }
         }
-        let config = StreamConfig::live(2, OverloadPolicy::DropNewest);
-        let live = StreamingRunner::new(config).run(
-            &mut Engine::new(sys, NumericManager::new(sys, &policy), OVERHEAD),
-            &mut Jittered::new(period, jitter, frames, 23),
-            &mut exec(sys, &arb.fractions),
-            &mut NullSink,
-        );
-        let replayed = StreamingRunner::new(config).run(
-            &mut Engine::new(sys, NumericManager::new(sys, &policy), OVERHEAD),
-            &mut TraceReplay::new(times),
-            &mut exec(sys, &arb.fractions),
-            &mut NullSink,
-        );
-        prop_assert_eq!(live, replayed);
     }
 }
