@@ -126,6 +126,7 @@ impl BenchmarkGroup<'_> {
 /// Entry point mirroring `criterion::Criterion`.
 pub struct Criterion {
     target: Duration,
+    results: Vec<(String, f64)>,
 }
 
 impl Default for Criterion {
@@ -133,6 +134,7 @@ impl Default for Criterion {
         Criterion {
             // Short window: the shim favours CI latency over precision.
             target: Duration::from_millis(60),
+            results: Vec::new(),
         }
     }
 }
@@ -169,7 +171,87 @@ impl Criterion {
         };
         f(&mut bencher);
         println!("{label:<56} {:>14.1} ns/iter", bencher.ns_per_iter);
+        self.results.push((label.to_string(), bencher.ns_per_iter));
     }
+}
+
+impl Drop for Criterion {
+    /// On exit, print a compact before/after ns-per-op delta table against
+    /// the previous run of the same bench binary (stored in the temp dir),
+    /// so regressions are visible directly in CI logs, then persist this
+    /// run as the next baseline. Best-effort: IO failures are ignored.
+    fn drop(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let Some(path) = baseline_path() else {
+            return;
+        };
+        let previous = load_baseline(&path);
+        if !previous.is_empty() {
+            println!("\n-- delta vs previous run ({}) --", path.display());
+            println!(
+                "{:<56} {:>12} {:>12} {:>9}",
+                "benchmark", "before", "after", "delta"
+            );
+            for (label, after) in &self.results {
+                match previous.iter().find(|(l, _)| l == label) {
+                    Some((_, before)) if *before > 0.0 => {
+                        let delta = (after - before) / before * 100.0;
+                        println!("{label:<56} {before:>10.1}ns {after:>10.1}ns {delta:>+8.1}%");
+                    }
+                    _ => println!("{label:<56} {:>12} {after:>10.1}ns {:>9}", "(new)", ""),
+                }
+            }
+        }
+        save_baseline(&path, &previous, &self.results);
+    }
+}
+
+/// Where this bench binary's previous results live: keyed by the
+/// executable's file stem with cargo's trailing `-<hash>` stripped, so the
+/// baseline survives rebuilds.
+fn baseline_path() -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let stem = exe.file_stem()?.to_str()?;
+    let key = match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            name
+        }
+        _ => stem,
+    };
+    let dir = std::env::temp_dir().join("sqm-criterion-shim");
+    std::fs::create_dir_all(&dir).ok()?;
+    Some(dir.join(format!("{key}.tsv")))
+}
+
+fn load_baseline(path: &std::path::Path) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let (label, ns) = line.rsplit_once('\t')?;
+            Some((label.to_string(), ns.parse().ok()?))
+        })
+        .collect()
+}
+
+/// Persist `current`, keeping entries from `previous` that this run did
+/// not re-measure (several groups / partial runs share one baseline).
+fn save_baseline(path: &std::path::Path, previous: &[(String, f64)], current: &[(String, f64)]) {
+    let mut merged: Vec<(String, f64)> = previous
+        .iter()
+        .filter(|(l, _)| !current.iter().any(|(c, _)| c == l))
+        .cloned()
+        .collect();
+    merged.extend(current.iter().cloned());
+    let mut out = String::new();
+    for (label, ns) in &merged {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "{label}\t{ns}");
+    }
+    let _ = std::fs::write(path, out);
 }
 
 /// Mirror of `criterion_group!`: defines a function running each bench.
@@ -202,6 +284,7 @@ mod tests {
     fn bencher_measures_positive_cost() {
         let mut c = Criterion {
             target: Duration::from_millis(5),
+            results: Vec::new(),
         };
         let mut measured = 0.0;
         {

@@ -112,6 +112,14 @@ impl DeadlineMap {
         self.deadlines.get(k).copied().flatten()
     }
 
+    /// The raw per-action deadline slots, indexed by action id — lets hot
+    /// loops hoist one slice instead of calling [`DeadlineMap::get`] per
+    /// step.
+    #[inline]
+    pub fn as_slice(&self) -> &[Option<Time>] {
+        &self.deadlines
+    }
+
     /// Iterate over `(action, deadline)` pairs in sequence order.
     pub fn iter(&self) -> impl Iterator<Item = (ActionId, Time)> + '_ {
         self.deadlines

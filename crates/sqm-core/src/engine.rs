@@ -36,6 +36,12 @@ use crate::trace::{ActionRecord, CycleTrace, Trace};
 /// caller-owned buffers, pure aggregation, or nothing at all. All methods
 /// default to no-ops so stat-only sinks implement exactly what they need.
 pub trait TraceSink {
+    /// Whether this sink consumes per-action records. Aggregation-only
+    /// sinks ([`NullSink`]) set this to `false`, and the engine's
+    /// monomorphized loop then skips [`ActionRecord`] construction
+    /// entirely — the summary-only path compiles down to pure arithmetic.
+    const WANTS_RECORDS: bool = true;
+
     /// A cycle is starting at cycle-relative time `start`;
     /// `expected_actions` is the system's action count, so recording sinks
     /// can reserve capacity up front.
@@ -53,7 +59,9 @@ pub trait TraceSink {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NullSink;
 
-impl TraceSink for NullSink {}
+impl TraceSink for NullSink {
+    const WANTS_RECORDS: bool = false;
+}
 
 /// Appends records to a caller-provided buffer. The engine never clears
 /// the buffer — the caller owns its lifecycle and can reuse its capacity
@@ -95,6 +103,8 @@ impl TraceSink for Trace {
 }
 
 impl<S: TraceSink> TraceSink for &mut S {
+    const WANTS_RECORDS: bool = S::WANTS_RECORDS;
+
     fn begin_cycle(&mut self, cycle: usize, start: Time, expected_actions: usize) {
         (**self).begin_cycle(cycle, start, expected_actions);
     }
@@ -113,6 +123,8 @@ impl<S: TraceSink> TraceSink for &mut S {
 pub struct Tee<'a, A, B>(pub &'a mut A, pub &'a mut B);
 
 impl<A: TraceSink, B: TraceSink> TraceSink for Tee<'_, A, B> {
+    const WANTS_RECORDS: bool = A::WANTS_RECORDS || B::WANTS_RECORDS;
+
     fn begin_cycle(&mut self, cycle: usize, start: Time, expected_actions: usize) {
         self.0.begin_cycle(cycle, start, expected_actions);
         self.1.begin_cycle(cycle, start, expected_actions);
@@ -181,25 +193,6 @@ impl CycleSummary {
             misses: 0,
             infeasible: 0,
         }
-    }
-
-    fn absorb(&mut self, r: &ActionRecord, prev_q: Option<Quality>) {
-        self.actions += 1;
-        if r.decided {
-            self.qm_calls += 1;
-            self.qm_work += r.qm_work;
-            self.qm_overhead += r.qm_overhead;
-        }
-        self.busy += r.duration;
-        self.quality_sum += r.quality.index() as u64;
-        self.min_quality = self.min_quality.min(r.quality);
-        self.max_quality = self.max_quality.max(r.quality);
-        if prev_q.is_some_and(|p| p != r.quality) {
-            self.switches += 1;
-        }
-        self.misses += usize::from(r.missed_deadline);
-        self.infeasible += usize::from(r.infeasible);
-        self.end = r.end;
     }
 
     /// Mean quality level over the cycle's actions.
@@ -419,8 +412,14 @@ impl<'a, M: QualityManager> Engine<'a, M> {
     /// `exec`; records stream into `sink`. Returns the cycle's aggregates.
     ///
     /// This is *the* hot loop: decide, charge the decision's cost to the
-    /// clock, execute `hold` actions at the chosen quality, check each
-    /// against its deadline.
+    /// clock, then execute the decision's whole `hold` span through a tight
+    /// inner loop. Everything constant across the span — the chosen
+    /// quality, the switch test, the quality-sum/min/max bookkeeping, the
+    /// decision's work and overhead — is folded in **once per decision**,
+    /// so the per-step body is just: pull an actual time, advance the
+    /// clock, check the deadline. When the sink does not consume records
+    /// ([`TraceSink::WANTS_RECORDS`] is `false`, e.g. [`NullSink`]),
+    /// [`ActionRecord`] construction is compiled out of the loop entirely.
     pub fn run_cycle<X, S>(
         &mut self,
         cycle: usize,
@@ -433,7 +432,7 @@ impl<'a, M: QualityManager> Engine<'a, M> {
         S: TraceSink,
     {
         let n = self.sys.n_actions();
-        let deadlines = self.sys.deadlines();
+        let deadlines = self.sys.deadlines().as_slice();
         let mut summary = CycleSummary::new(cycle, start);
         let mut prev_q: Option<Quality> = None;
         sink.begin_cycle(cycle, start, n);
@@ -447,28 +446,46 @@ impl<'a, M: QualityManager> Engine<'a, M> {
             // A zero hold must still make progress; an oversized hold is
             // clamped to the remaining actions.
             let hold = decision.hold.clamp(1, n - i);
-            for step in 0..hold {
-                let duration = exec.actual(cycle, i, decision.quality);
+            let quality = decision.quality;
+            // Per-decision bookkeeping, hoisted out of the hold span.
+            summary.actions += hold;
+            summary.qm_calls += 1;
+            summary.qm_work += decision.work;
+            summary.qm_overhead += overhead;
+            summary.quality_sum += quality.index() as u64 * hold as u64;
+            summary.min_quality = summary.min_quality.min(quality);
+            summary.max_quality = summary.max_quality.max(quality);
+            if prev_q.is_some_and(|p| p != quality) {
+                summary.switches += 1;
+            }
+            prev_q = Some(quality);
+            summary.infeasible += usize::from(decision.infeasible);
+            // The tight inner loop over the span's pre-read deadline row.
+            for (step, &deadline) in deadlines[i..i + hold].iter().enumerate() {
+                let duration = exec.actual(cycle, i, quality);
                 let end = t + duration;
-                let missed = deadlines.get(i).is_some_and(|d| end > d);
-                let record = ActionRecord {
-                    action: i,
-                    quality: decision.quality,
-                    decided: step == 0,
-                    qm_work: if step == 0 { decision.work } else { 0 },
-                    qm_overhead: if step == 0 { overhead } else { Time::ZERO },
-                    start: t,
-                    duration,
-                    end,
-                    missed_deadline: missed,
-                    infeasible: step == 0 && decision.infeasible,
-                };
-                summary.absorb(&record, prev_q);
-                sink.record(&record);
-                prev_q = Some(decision.quality);
+                let missed = deadline.is_some_and(|d| end > d);
+                summary.busy += duration;
+                summary.misses += usize::from(missed);
+                if S::WANTS_RECORDS {
+                    let first = step == 0;
+                    sink.record(&ActionRecord {
+                        action: i,
+                        quality,
+                        decided: first,
+                        qm_work: if first { decision.work } else { 0 },
+                        qm_overhead: if first { overhead } else { Time::ZERO },
+                        start: t,
+                        duration,
+                        end,
+                        missed_deadline: missed,
+                        infeasible: first && decision.infeasible,
+                    });
+                }
                 t = end;
                 i += 1;
             }
+            summary.end = t;
         }
         if summary.actions == 0 {
             // Match `CycleStats` on empty cycles.

@@ -24,7 +24,11 @@
 //! 5. **Quality Managers** — [`manager`]: the online controllers — numeric
 //!    (re-computes `tD` per call), lookup (table-driven), and relaxed
 //!    (skips control for `r` steps inside `Rrq`); [`smoothness`] scores
-//!    their fluctuation, and `SmoothedManager` rate-limits it.
+//!    their fluctuation, and `SmoothedManager` rate-limits it. The
+//!    **hot-path** variants (`HotLookupManager` / `HotRelaxedManager`)
+//!    resume each probe from the previous decision — amortized O(1) host
+//!    work per decision, byte-identical in the virtual time domain
+//!    because `Decision::work` is charged analytically.
 //! 6. **Engine** — [`engine`]: the *monomorphized, allocation-free* hot
 //!    loop (decide → charge overhead → execute → check deadline), generic
 //!    over manager and execution-time source, streaming records into
@@ -106,7 +110,8 @@ pub mod prelude {
     pub use crate::error::{BuildError, ParseError};
     pub use crate::fleet::{FleetRunner, FleetSummary, StreamScratch, StreamSpec};
     pub use crate::manager::{
-        Decision, LookupManager, NumericManager, QualityManager, RelaxedManager, SmoothedManager,
+        Decision, HotLookupManager, HotRelaxedManager, LookupManager, NumericManager,
+        QualityManager, RelaxedManager, SmoothedManager,
     };
     pub use crate::policy::{choose_quality, AveragePolicy, MixedPolicy, Policy, SafePolicy};
     pub use crate::quality::{Quality, QualitySet};

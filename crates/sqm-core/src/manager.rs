@@ -14,7 +14,15 @@
 //!   table ([`crate::relaxation::RelaxationTable`]) and asks the controller
 //!   to skip the next `r − 1` calls entirely.
 //!
-//! All three are *equivalent in their choices* — they realize the same
+//! Two **hot-path** variants, [`HotLookupManager`] and
+//! [`HotRelaxedManager`], make the same choices as their symbolic
+//! counterparts but resume each probe from the previous decision instead
+//! of rescanning from `qmax` — amortized O(1) host work per decision.
+//! Their [`Decision::work`] stays the *analytic* top-down probe count
+//! ([`QualityRegionTable::scan_work`]), so every virtual-time quantity is
+//! byte-identical to the plain managers'.
+//!
+//! All managers are *equivalent in their choices* — they realize the same
 //! function `Γ` (property-tested in the workspace integration tests); they
 //! differ only in work per call, which the controller charges to the clock
 //! through an [`crate::controller::OverheadModel`].
@@ -37,9 +45,16 @@ pub struct Decision {
     /// managers return 1; the relaxed manager returns the relaxation step
     /// `r` of Proposition 3.
     pub hold: usize,
-    /// Elementary work units spent making the decision (suffix-scan
-    /// iterations for the numeric manager, table probes for the symbolic
-    /// ones). The controller converts this into time overhead.
+    /// Elementary work units *charged* for the decision — the paper's
+    /// abstract cost model: suffix-scan iterations for the numeric manager,
+    /// top-down table probes for the symbolic ones. For the symbolic
+    /// managers this is defined **analytically** from the chosen quality
+    /// (`|Q| − q` probes, see
+    /// [`crate::regions::QualityRegionTable::scan_work`]), *not* from the
+    /// host work actually performed — which is how the incremental
+    /// fast-path managers stay byte-identical in the virtual time domain
+    /// while doing strictly less host work. The controller converts this
+    /// into time overhead.
     pub work: u64,
     /// `true` when not even `qmin` satisfied the policy constraint — the
     /// state lies outside every quality region. Under correct worst-case
@@ -199,6 +214,205 @@ impl QualityManager for RelaxedManager<'_> {
     }
 }
 
+/// Amortized-O(1) symbolic Quality Manager: realizes the same `Γ` as
+/// [`LookupManager`] but resumes each probe from the previously chosen
+/// quality ([`QualityRegionTable::choose_from`]) instead of rescanning
+/// from `qmax`. The charged [`Decision::work`] is the analytic top-down
+/// probe count ([`QualityRegionTable::scan_work`]), so runs are
+/// byte-identical to [`LookupManager`]'s in the virtual time domain while
+/// the host-side search cost stops scaling with `|Q|`.
+///
+/// # Examples
+///
+/// ```
+/// use sqm_core::compiler::compile_regions;
+/// use sqm_core::manager::{HotLookupManager, LookupManager, QualityManager};
+/// use sqm_core::system::SystemBuilder;
+/// use sqm_core::time::Time;
+///
+/// let sys = SystemBuilder::new(3)
+///     .action("a", &[10, 25, 40], &[4, 9, 14])
+///     .action("b", &[12, 22, 35], &[6, 11, 17])
+///     .deadline_last(Time::from_ns(80))
+///     .build()
+///     .unwrap();
+/// let regions = compile_regions(&sys);
+/// let mut naive = LookupManager::new(&regions);
+/// let mut hot = HotLookupManager::new(&regions);
+/// for (state, t) in [(0, 0), (1, 30)] {
+///     // Identical decisions *and* identical charged work.
+///     assert_eq!(hot.decide(state, Time::from_ns(t)), naive.decide(state, Time::from_ns(t)));
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct HotLookupManager<'a> {
+    table: &'a QualityRegionTable,
+    hint: Quality,
+}
+
+impl<'a> HotLookupManager<'a> {
+    /// A hot lookup manager over a compiled region table.
+    pub fn new(table: &'a QualityRegionTable) -> HotLookupManager<'a> {
+        // The hint walk is only exact on Proposition-2 monotone rows;
+        // policy-compiled tables always have them, hand-built `from_raw`
+        // tables might not.
+        debug_assert!(table.rows_monotone(), "choose_from needs monotone rows");
+        HotLookupManager {
+            table,
+            hint: table.qualities().max(),
+        }
+    }
+}
+
+impl QualityManager for HotLookupManager<'_> {
+    fn decide(&mut self, state: usize, t: Time) -> Decision {
+        let choice = self.table.choose_from(state, t, self.hint);
+        let work = self.table.scan_work(choice);
+        match choice {
+            Some(quality) => {
+                self.hint = quality;
+                Decision {
+                    quality,
+                    hold: 1,
+                    work,
+                    infeasible: false,
+                }
+            }
+            None => {
+                self.hint = Quality::MIN;
+                Decision {
+                    quality: Quality::MIN,
+                    hold: 1,
+                    work,
+                    infeasible: true,
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "regions-hot"
+    }
+
+    fn reset(&mut self) {
+        // A fresh cycle restarts the budget; resume from `qmax` like the
+        // naive scan's first probe.
+        self.hint = self.table.qualities().max();
+    }
+}
+
+/// Amortized-O(1) relaxed manager: the fast-path sibling of
+/// [`RelaxedManager`]. Both the region probe and the relaxation-step probe
+/// resume from the previous decision
+/// ([`QualityRegionTable::choose_from`] /
+/// [`RelaxationTable::choose_relaxation_from`]); the charged work is the
+/// analytic scan count of each table, so holds, overheads and every
+/// summary byte match [`RelaxedManager`]'s.
+///
+/// # Examples
+///
+/// ```
+/// use sqm_core::compiler::{compile_regions, compile_relaxation};
+/// use sqm_core::manager::{HotRelaxedManager, QualityManager, RelaxedManager};
+/// use sqm_core::relaxation::StepSet;
+/// use sqm_core::system::SystemBuilder;
+/// use sqm_core::time::Time;
+///
+/// let sys = SystemBuilder::new(2)
+///     .action("a", &[10, 20], &[4, 9])
+///     .action("b", &[12, 22], &[6, 11])
+///     .action("c", &[8, 18], &[3, 8])
+///     .deadline_last(Time::from_ns(90))
+///     .build()
+///     .unwrap();
+/// let regions = compile_regions(&sys);
+/// let relax = compile_relaxation(&sys, &regions, StepSet::new(vec![1, 2]).unwrap());
+/// let mut naive = RelaxedManager::new(&regions, &relax);
+/// let mut hot = HotRelaxedManager::new(&regions, &relax);
+/// assert_eq!(hot.decide(0, Time::ZERO), naive.decide(0, Time::ZERO));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HotRelaxedManager<'a> {
+    regions: &'a QualityRegionTable,
+    relaxation: &'a RelaxationTable,
+    hint_q: Quality,
+    hint_ri: usize,
+}
+
+impl<'a> HotRelaxedManager<'a> {
+    /// A hot relaxed manager over compiled region + relaxation tables.
+    pub fn new(
+        regions: &'a QualityRegionTable,
+        relaxation: &'a RelaxationTable,
+    ) -> HotRelaxedManager<'a> {
+        debug_assert_eq!(regions.n_states(), relaxation.n_states());
+        // Both hint walks need the compiled tables' monotone/nested
+        // structure (see `HotLookupManager::new`).
+        debug_assert!(regions.rows_monotone(), "choose_from needs monotone rows");
+        debug_assert!(
+            relaxation.nested_over_rho(),
+            "choose_relaxation_from needs ρ-nested intervals"
+        );
+        HotRelaxedManager {
+            regions,
+            relaxation,
+            hint_q: regions.qualities().max(),
+            hint_ri: relaxation.rho().len() - 1,
+        }
+    }
+}
+
+impl QualityManager for HotRelaxedManager<'_> {
+    fn decide(&mut self, state: usize, t: Time) -> Decision {
+        let choice = self.regions.choose_from(state, t, self.hint_q);
+        let probes = self.regions.scan_work(choice);
+        match choice {
+            Some(quality) => {
+                self.hint_q = quality;
+                let found = self
+                    .relaxation
+                    .choose_relaxation_from(state, t, quality, self.hint_ri);
+                let r_probes = self.relaxation.scan_work(found);
+                let r = match found {
+                    Some(ri) => {
+                        self.hint_ri = ri;
+                        self.relaxation.rho().steps()[ri]
+                    }
+                    None => {
+                        self.hint_ri = 0;
+                        1
+                    }
+                };
+                let remaining = self.regions.n_states() - state;
+                Decision {
+                    quality,
+                    hold: r.min(remaining).max(1),
+                    work: probes + r_probes,
+                    infeasible: false,
+                }
+            }
+            None => {
+                self.hint_q = Quality::MIN;
+                Decision {
+                    quality: Quality::MIN,
+                    hold: 1,
+                    work: probes,
+                    infeasible: true,
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "relaxation-hot"
+    }
+
+    fn reset(&mut self) {
+        self.hint_q = self.regions.qualities().max();
+        self.hint_ri = self.relaxation.rho().len() - 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +497,42 @@ mod tests {
     }
 
     #[test]
+    fn hot_managers_match_naive_managers_decision_for_decision() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let regions = QualityRegionTable::from_policy(&s, &p);
+        let relaxation = RelaxationTable::compile(&s, &regions, StepSet::new(vec![1, 2]).unwrap());
+        let mut lookup = LookupManager::new(&regions);
+        let mut hot_lookup = HotLookupManager::new(&regions);
+        let mut relaxed = RelaxedManager::new(&regions, &relaxation);
+        let mut hot_relaxed = HotRelaxedManager::new(&regions, &relaxation);
+        // Sweep *sequentially* without resets so the hot managers' hints
+        // carry real state between calls, including the infeasible tail.
+        for state in 0..4 {
+            for t_ns in -20..200 {
+                let t = Time::from_ns(t_ns);
+                assert_eq!(
+                    hot_lookup.decide(state, t),
+                    lookup.decide(state, t),
+                    "lookup state {state} t {t}"
+                );
+                assert_eq!(
+                    hot_relaxed.decide(state, t),
+                    relaxed.decide(state, t),
+                    "relaxed state {state} t {t}"
+                );
+            }
+        }
+        // And after a cycle reset.
+        hot_lookup.reset();
+        lookup.reset();
+        assert_eq!(
+            hot_lookup.decide(0, Time::ZERO),
+            lookup.decide(0, Time::ZERO)
+        );
+    }
+
+    #[test]
     fn manager_names() {
         let s = sys();
         let p = MixedPolicy::new(&s);
@@ -293,6 +543,11 @@ mod tests {
         assert_eq!(
             RelaxedManager::new(&regions, &relaxation).name(),
             "relaxation"
+        );
+        assert_eq!(HotLookupManager::new(&regions).name(), "regions-hot");
+        assert_eq!(
+            HotRelaxedManager::new(&regions, &relaxation).name(),
+            "relaxation-hot"
         );
     }
 }

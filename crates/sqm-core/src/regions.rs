@@ -89,6 +89,27 @@ impl QualityRegionTable {
         &self.td
     }
 
+    /// The contiguous boundary row `tD(s_state, ·)`, ordered by quality
+    /// index — the cache-conscious view the online probes work on. Slicing
+    /// the row once hoists the `state · |Q|` offset arithmetic *and* the
+    /// bounds check out of the probe loop (for the paper's `|Q| = 7` the
+    /// whole row is one cache line).
+    #[inline]
+    pub fn row(&self, state: usize) -> &[Time] {
+        let nq = self.qualities.len();
+        &self.td[state * nq..state * nq + nq]
+    }
+
+    /// `true` when every row is non-increasing in `q` — the Proposition-2
+    /// structure every policy-compiled table has, and the premise of the
+    /// incremental search ([`QualityRegionTable::choose_from`]). Tables
+    /// rebuilt through [`QualityRegionTable::from_raw`] are only
+    /// length-checked, so fast-path consumers `debug_assert!` this before
+    /// trusting the hint walk.
+    pub fn rows_monotone(&self) -> bool {
+        (0..self.n_states).all(|state| self.row(state).windows(2).all(|w| w[0] >= w[1]))
+    }
+
     /// The region interval of `(state, q)` as `(lower, upper]`; `lower` is
     /// [`Time::NEG_INF`] for `qmax` (Proposition 2).
     pub fn bounds(&self, state: usize, q: Quality) -> (Time, Time) {
@@ -111,15 +132,99 @@ impl QualityRegionTable {
     /// `tD(s_state, q) ≥ t`, found by probing levels from `qmax` down.
     /// Returns the number of table probes alongside (the symbolic manager's
     /// per-call work, at most `|Q|`).
+    ///
+    /// The probe runs over the hoisted [`QualityRegionTable::row`] slice, so
+    /// the per-call `state · |Q|` offset is computed once and the loop is
+    /// bounds-check-free.
     pub fn choose(&self, state: usize, t: Time) -> (Option<Quality>, u64) {
+        let row = self.row(state);
         let mut probes = 0;
-        for q in self.qualities.iter_desc() {
+        for (qi, &td) in row.iter().enumerate().rev() {
             probes += 1;
-            if self.t_d(state, q) >= t {
-                return (Some(q), probes);
+            if td >= t {
+                return (Some(Quality::new(qi as u8)), probes);
             }
         }
         (None, probes)
+    }
+
+    /// The probe count [`QualityRegionTable::choose`] charges for a given
+    /// outcome, computed analytically: the top-down scan probes
+    /// `qmax … q`, i.e. `|Q| − q` levels, or all `|Q|` when no level is
+    /// feasible. This is the paper's abstract per-decision work model —
+    /// [`crate::manager::Decision::work`] is defined by this formula, not
+    /// by whatever host-side search strategy produced the choice, which is
+    /// what lets the incremental fast path ([`QualityRegionTable::choose_from`])
+    /// stay byte-identical in the virtual time domain.
+    #[inline]
+    pub fn scan_work(&self, choice: Option<Quality>) -> u64 {
+        let nq = self.qualities.len() as u64;
+        match choice {
+            Some(q) => nq - q.index() as u64,
+            None => nq,
+        }
+    }
+
+    /// Incremental region search: the same choice as
+    /// [`QualityRegionTable::choose`], but the probe *resumes from a hint*
+    /// (typically the previously chosen quality) instead of rescanning from
+    /// `qmax`. Because `tD(s, ·)` is non-increasing in `q`, the feasibility
+    /// predicate `tD(s, q) ≥ t` is true exactly for a prefix of quality
+    /// indices, so a local walk up or down from *any* starting point finds
+    /// the maximal feasible level. Consecutive decisions within a cycle
+    /// rarely move more than a level apart, making the amortized cost O(1)
+    /// table probes instead of `O(|Q|)`. (The walk relies on the
+    /// Proposition-2 monotone structure, which every policy-compiled table
+    /// has; a hand-built [`QualityRegionTable::from_raw`] table with
+    /// non-monotone rows must use [`QualityRegionTable::choose`].)
+    ///
+    /// Host-side work only: charge [`QualityRegionTable::scan_work`] for
+    /// the virtual accounting, never the number of probes this method
+    /// actually performed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sqm_core::compiler::compile_regions;
+    /// use sqm_core::system::SystemBuilder;
+    /// use sqm_core::time::Time;
+    ///
+    /// let sys = SystemBuilder::new(3)
+    ///     .action("a", &[10, 25, 40], &[4, 9, 14])
+    ///     .action("b", &[12, 22, 35], &[6, 11, 17])
+    ///     .deadline_last(Time::from_ns(70))
+    ///     .build()
+    ///     .unwrap();
+    /// let table = compile_regions(&sys);
+    /// for state in 0..2 {
+    ///     for t in -10..80 {
+    ///         let t = Time::from_ns(t);
+    ///         let (naive, _) = table.choose(state, t);
+    ///         for hint in sys.qualities().iter() {
+    ///             assert_eq!(table.choose_from(state, t, hint), naive);
+    ///         }
+    ///     }
+    /// }
+    /// ```
+    pub fn choose_from(&self, state: usize, t: Time, hint: Quality) -> Option<Quality> {
+        let row = self.row(state);
+        let mut qi = hint.index().min(row.len() - 1);
+        if row[qi] >= t {
+            // Feasible at the hint: walk up while the next level still fits.
+            while qi + 1 < row.len() && row[qi + 1] >= t {
+                qi += 1;
+            }
+            Some(Quality::new(qi as u8))
+        } else {
+            // Infeasible at the hint: walk down to the first feasible level.
+            while qi > 0 {
+                qi -= 1;
+                if row[qi] >= t {
+                    return Some(Quality::new(qi as u8));
+                }
+            }
+            None
+        }
     }
 
     /// The symbolic choice via **binary search** over quality levels
@@ -264,6 +369,60 @@ mod tests {
     }
 
     #[test]
+    fn row_view_matches_indexed_access() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let table = QualityRegionTable::from_policy(&s, &p);
+        for state in 0..3 {
+            let row = table.row(state);
+            assert_eq!(row.len(), 3);
+            for q in s.qualities().iter() {
+                assert_eq!(row[q.index()], table.t_d(state, q));
+            }
+        }
+    }
+
+    #[test]
+    fn hinted_choice_matches_linear_choice_for_every_hint() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let table = QualityRegionTable::from_policy(&s, &p);
+        for state in 0..3 {
+            for t_ns in -30..130 {
+                let t = Time::from_ns(t_ns);
+                let (naive, probes) = table.choose(state, t);
+                assert_eq!(table.scan_work(naive), probes, "state {state} t {t}");
+                for hint in s.qualities().iter() {
+                    assert_eq!(
+                        table.choose_from(state, t, hint),
+                        naive,
+                        "state {state} t {t} hint {hint}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hinted_choice_at_exact_region_boundaries() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let table = QualityRegionTable::from_policy(&s, &p);
+        for state in 0..3 {
+            for q in s.qualities().iter() {
+                let boundary = table.t_d(state, q);
+                for delta in [-1i64, 0, 1] {
+                    let t = boundary + Time::from_ns(delta);
+                    let (naive, _) = table.choose(state, t);
+                    for hint in s.qualities().iter() {
+                        assert_eq!(table.choose_from(state, t, hint), naive);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn binary_choice_matches_linear_choice() {
         let s = sys();
         let p = MixedPolicy::new(&s);
@@ -304,6 +463,20 @@ mod tests {
         let qs = QualitySet::new(2).unwrap();
         assert!(QualityRegionTable::from_raw(2, qs, vec![Time::ZERO; 4]).is_some());
         assert!(QualityRegionTable::from_raw(2, qs, vec![Time::ZERO; 3]).is_none());
+    }
+
+    #[test]
+    fn monotonicity_validator_detects_broken_rows() {
+        let s = sys();
+        let compiled = QualityRegionTable::from_policy(&s, &MixedPolicy::new(&s));
+        assert!(compiled.rows_monotone());
+        let qs = QualitySet::new(2).unwrap();
+        let broken =
+            QualityRegionTable::from_raw(1, qs, vec![Time::from_ns(5), Time::from_ns(9)]).unwrap();
+        assert!(
+            !broken.rows_monotone(),
+            "tD increasing in q must be flagged"
+        );
     }
 
     #[test]

@@ -189,6 +189,35 @@ impl RelaxationTable {
         (self.lower[i], self.upper[i])
     }
 
+    /// The contiguous `(lower, upper)` interval rows for `(state, q)` over
+    /// the whole step menu `ρ` — the cache-conscious view the relaxation
+    /// probes work on. Slicing once hoists the
+    /// `(state · |Q| + q) · |ρ|` offset arithmetic and the bounds checks
+    /// out of the probe loop.
+    #[inline]
+    pub fn intervals(&self, state: usize, q: Quality) -> (&[Time], &[Time]) {
+        let nr = self.rho.len();
+        let base = self.idx(state, q, 0);
+        (&self.lower[base..base + nr], &self.upper[base..base + nr])
+    }
+
+    /// `true` when the intervals are nested over `ρ` at every `(state, q)`
+    /// — lower bounds non-decreasing and upper bounds non-increasing in
+    /// `ri`, so membership is prefix-monotone (`Rrq ⊆ Rr'q` for
+    /// `r' ≤ r`). Every compiled table has this Proposition-3 structure;
+    /// tables rebuilt through [`RelaxationTable::from_raw`] are only
+    /// length-checked, so fast-path consumers `debug_assert!` this before
+    /// trusting the hint walk of
+    /// [`RelaxationTable::choose_relaxation_from`].
+    pub fn nested_over_rho(&self) -> bool {
+        (0..self.n_states).all(|state| {
+            self.qualities.iter().all(|q| {
+                let (lower, upper) = self.intervals(state, q);
+                lower.windows(2).all(|w| w[0] <= w[1]) && upper.windows(2).all(|w| w[0] >= w[1])
+            })
+        })
+    }
+
     /// Proposition 3 membership: `(s_state, t) ∈ Rrq` for `r = ρ[ri]`.
     pub fn contains(&self, state: usize, t: Time, q: Quality, ri: usize) -> bool {
         let (lo, up) = self.bounds(state, q, ri);
@@ -201,16 +230,103 @@ impl RelaxationTable {
     /// step down; returns `(r, probes)`. Always succeeds with `r ≥ 1`
     /// because `R1q = Rq`.
     pub fn choose_relaxation(&self, state: usize, t: Time, q: Quality) -> (usize, u64) {
+        let (lower, upper) = self.intervals(state, q);
         let mut probes = 0;
-        for ri in (0..self.rho.len()).rev() {
+        for ri in (0..lower.len()).rev() {
             probes += 1;
-            if self.contains(state, t, q, ri) {
+            if lower[ri] < t && t <= upper[ri] {
                 return (self.rho.steps()[ri], probes);
             }
         }
         // R1q = Rq and the caller established (state, t) ∈ Rq; numerical
         // consistency makes this unreachable, but degrade gracefully.
         (1, probes)
+    }
+
+    /// The probe count [`RelaxationTable::choose_relaxation`] charges for a
+    /// given outcome, computed analytically: the top-down scan probes
+    /// `|ρ| − ri` intervals to stop at index `ri`, or all `|ρ|` when none
+    /// contains `t`. Like [`crate::regions::QualityRegionTable::scan_work`],
+    /// this is the paper's abstract work model — independent of the
+    /// host-side search strategy.
+    #[inline]
+    pub fn scan_work(&self, found_ri: Option<usize>) -> u64 {
+        let nr = self.rho.len() as u64;
+        match found_ri {
+            Some(ri) => nr - ri as u64,
+            None => nr,
+        }
+    }
+
+    /// Incremental relaxation search: the index of the largest step in `ρ`
+    /// whose interval contains `t`, resuming the probe from `hint`
+    /// (typically the previously chosen index) instead of rescanning from
+    /// the largest step. `None` means no interval contains `t` (the
+    /// degraded `r = 1` case of [`RelaxationTable::choose_relaxation`]).
+    ///
+    /// Correct because the relaxation regions are *nested*:
+    /// `Rrq ⊆ Rr'q` for `r' ≤ r` (the upper bound is a min over a growing
+    /// window, the lower bound `tD(s_{i+r−1}, q+1)` is non-decreasing in
+    /// `r`), so membership over `ρ` is true exactly for a prefix of
+    /// indices and a local walk from any hint finds the largest member.
+    ///
+    /// Host-side work only: charge [`RelaxationTable::scan_work`] for the
+    /// virtual accounting.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sqm_core::compiler::{compile_regions, compile_relaxation};
+    /// use sqm_core::relaxation::StepSet;
+    /// use sqm_core::system::SystemBuilder;
+    /// use sqm_core::time::Time;
+    ///
+    /// let sys = SystemBuilder::new(2)
+    ///     .action("a", &[10, 20], &[4, 9])
+    ///     .action("b", &[12, 22], &[6, 11])
+    ///     .action("c", &[8, 18], &[3, 8])
+    ///     .deadline_last(Time::from_ns(80))
+    ///     .build()
+    ///     .unwrap();
+    /// let regions = compile_regions(&sys);
+    /// let relax = compile_relaxation(&sys, &regions, StepSet::new(vec![1, 2]).unwrap());
+    /// for state in 0..3 {
+    ///     for t in -10..90 {
+    ///         let t = Time::from_ns(t);
+    ///         if let (Some(q), _) = regions.choose(state, t) {
+    ///             let (r, _) = relax.choose_relaxation(state, t, q);
+    ///             for hint in 0..2 {
+    ///                 let ri = relax.choose_relaxation_from(state, t, q, hint);
+    ///                 assert_eq!(relax.rho().steps()[ri.unwrap()], r);
+    ///             }
+    ///         }
+    ///     }
+    /// }
+    /// ```
+    pub fn choose_relaxation_from(
+        &self,
+        state: usize,
+        t: Time,
+        q: Quality,
+        hint: usize,
+    ) -> Option<usize> {
+        let (lower, upper) = self.intervals(state, q);
+        let nr = lower.len();
+        let mut ri = hint.min(nr - 1);
+        if lower[ri] < t && t <= upper[ri] {
+            while ri + 1 < nr && lower[ri + 1] < t && t <= upper[ri + 1] {
+                ri += 1;
+            }
+            Some(ri)
+        } else {
+            while ri > 0 {
+                ri -= 1;
+                if lower[ri] < t && t <= upper[ri] {
+                    return Some(ri);
+                }
+            }
+            None
+        }
     }
 
     /// A copy with every interval shifted by `delta` — exact for a uniform
@@ -388,6 +504,79 @@ mod tests {
                             assert!(!relax.contains(state, t, q, ri));
                         }
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relaxation_regions_are_nested_over_rho() {
+        // The structural premise of the incremental search: membership over
+        // ρ is true for a prefix of indices.
+        let s = sys();
+        let (_, relax) = tables(&s);
+        for state in 0..5 {
+            for q in s.qualities().iter() {
+                for t_ns in -30..130 {
+                    let t = Time::from_ns(t_ns);
+                    let members: Vec<bool> =
+                        (0..3).map(|ri| relax.contains(state, t, q, ri)).collect();
+                    for ri in 1..3 {
+                        assert!(
+                            !members[ri] || members[ri - 1],
+                            "Rrq ⊆ Rr'q violated at state {state} {q} t {t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hinted_relaxation_matches_naive_for_every_hint() {
+        let s = sys();
+        let (regions, relax) = tables(&s);
+        for state in 0..5 {
+            for t_ns in -30..130 {
+                let t = Time::from_ns(t_ns);
+                if let (Some(q), _) = regions.choose(state, t) {
+                    let (r, probes) = relax.choose_relaxation(state, t, q);
+                    for hint in 0..3 {
+                        let found = relax.choose_relaxation_from(state, t, q, hint);
+                        let fast_r = found.map_or(1, |ri| relax.rho().steps()[ri]);
+                        assert_eq!(fast_r, r, "state {state} t {t} hint {hint}");
+                        assert_eq!(relax.scan_work(found), probes);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nesting_validator_accepts_compiled_rejects_broken() {
+        let s = sys();
+        let (_, relax) = tables(&s);
+        assert!(relax.nested_over_rho());
+        let (lo, up) = relax.raw();
+        let mut up = up.to_vec();
+        // Widen a larger step's interval past a smaller one's: not nested.
+        up[2] = up[0] + Time::from_ns(1_000);
+        let broken =
+            RelaxationTable::from_raw(5, s.qualities(), relax.rho().clone(), lo.to_vec(), up)
+                .unwrap();
+        assert!(!broken.nested_over_rho());
+    }
+
+    #[test]
+    fn interval_rows_match_indexed_bounds() {
+        let s = sys();
+        let (_, relax) = tables(&s);
+        for state in 0..5 {
+            for q in s.qualities().iter() {
+                let (lower, upper) = relax.intervals(state, q);
+                assert_eq!(lower.len(), 3);
+                for ri in 0..3 {
+                    assert_eq!((lower[ri], upper[ri]), relax.bounds(state, q, ri));
                 }
             }
         }

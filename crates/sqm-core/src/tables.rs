@@ -33,17 +33,97 @@ fn write_time(out: &mut String, t: Time) {
     }
 }
 
-fn parse_time(token: &str, line_no: usize) -> Result<Time, ParseError> {
+/// Parse one time token without the `str::parse` error machinery: a manual
+/// byte loop (sign, digits, checked accumulation) whose only allocation is
+/// the error message on the cold failure path. `i64::MIN`/`i64::MAX`
+/// round-trip to the infinity sentinels bit-exactly, matching
+/// [`write_time`].
+fn parse_time_bytes(token: &[u8]) -> Option<Time> {
     match token {
-        "inf" => Ok(Time::INF),
-        "-inf" => Ok(Time::NEG_INF),
-        t => t
-            .parse::<i64>()
-            .map(Time::from_ns)
-            .map_err(|e| ParseError::BadLine {
-                line_no,
-                message: format!("bad time {t:?}: {e}"),
-            }),
+        b"inf" => return Some(Time::INF),
+        b"-inf" => return Some(Time::NEG_INF),
+        _ => {}
+    }
+    let (negative, digits) = match token.split_first()? {
+        (b'-', rest) => (true, rest),
+        (b'+', rest) => (false, rest),
+        _ => (false, token),
+    };
+    if digits.is_empty() {
+        return None;
+    }
+    // Accumulate negatively so `i64::MIN` parses without overflow.
+    let mut acc = 0i64;
+    for &b in digits {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        acc = acc.checked_mul(10)?.checked_sub((b - b'0') as i64)?;
+    }
+    let ns = if negative { acc } else { acc.checked_neg()? };
+    Some(Time::from_ns(ns))
+}
+
+#[cold]
+fn bad_time(token: &[u8], line_no: usize) -> ParseError {
+    ParseError::BadLine {
+        line_no,
+        message: format!("bad time {:?}", String::from_utf8_lossy(token)),
+    }
+}
+
+/// Single-pass whitespace-token scanner over the payload bytes, tracking
+/// the 1-based line number for error reporting. Replaces the
+/// `lines()` → `split_whitespace()` → `str::parse` pipeline: one traversal,
+/// no intermediate iterators, no per-token closure construction.
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(bytes: &'a [u8], first_line: usize) -> Scanner<'a> {
+        Scanner {
+            bytes,
+            pos: 0,
+            line: first_line,
+        }
+    }
+
+    /// The next whitespace-delimited token and the line it starts on.
+    fn next_token(&mut self) -> Option<(&'a [u8], usize)> {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+            } else if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| !b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+        (self.pos > start).then(|| (&self.bytes[start..self.pos], self.line))
+    }
+}
+
+/// Split off the first line (without its terminator), tolerating a `\r\n`
+/// ending like `str::lines` does.
+fn split_line(s: &str) -> Option<(&str, &str)> {
+    if s.is_empty() {
+        return None;
+    }
+    match s.find('\n') {
+        Some(i) => Some((s[..i].trim_end_matches('\r'), &s[i + 1..])),
+        None => Some((s.trim_end_matches('\r'), "")),
     }
 }
 
@@ -74,31 +154,24 @@ pub fn regions_to_string(t: &QualityRegionTable) -> String {
     out
 }
 
-/// Parse a quality region table.
+/// Parse a quality region table — a single pass over the payload bytes;
+/// the only allocations are the result vector and cold error messages.
 pub fn regions_from_str(s: &str) -> Result<QualityRegionTable, ParseError> {
-    let mut lines = s.lines().enumerate();
-    let (_, magic) = lines
-        .next()
-        .ok_or_else(|| ParseError::BadHeader("empty input".into()))?;
+    let (magic, rest) = split_line(s).ok_or_else(|| ParseError::BadHeader("empty input".into()))?;
     if magic.trim() != "SQM-REGIONS v1" {
         return Err(ParseError::BadHeader(magic.to_string()));
     }
-    let (_, meta) = lines
-        .next()
-        .ok_or_else(|| ParseError::BadHeader("missing meta".into()))?;
+    let (meta, payload) =
+        split_line(rest).ok_or_else(|| ParseError::BadHeader("missing meta".into()))?;
     let mut parts = meta.split_whitespace();
     let states = parse_kv(parts.next().unwrap_or(""), "states", meta)?;
     let nq = parse_kv(parts.next().unwrap_or(""), "qualities", meta)?;
     let qualities = QualitySet::new(nq)
         .ok_or_else(|| ParseError::Inconsistent(format!("bad quality count {nq}")))?;
     let mut td = Vec::with_capacity(states * nq);
-    for (line_no, line) in lines {
-        if line.trim().is_empty() {
-            continue;
-        }
-        for token in line.split_whitespace() {
-            td.push(parse_time(token, line_no + 1)?);
-        }
+    let mut scanner = Scanner::new(payload.as_bytes(), 3);
+    while let Some((token, line_no)) = scanner.next_token() {
+        td.push(parse_time_bytes(token).ok_or_else(|| bad_time(token, line_no))?);
     }
     if td.len() != states * nq {
         return Err(ParseError::TruncatedPayload {
@@ -139,18 +212,16 @@ pub fn relaxation_to_string(t: &RelaxationTable) -> String {
     out
 }
 
-/// Parse a relaxation table.
+/// Parse a relaxation table — line-framed (the `L`/`U` tags are
+/// positional) but with the same single-pass token scanning and cold-path
+/// error allocation as [`regions_from_str`].
 pub fn relaxation_from_str(s: &str) -> Result<RelaxationTable, ParseError> {
-    let mut lines = s.lines().enumerate();
-    let (_, magic) = lines
-        .next()
-        .ok_or_else(|| ParseError::BadHeader("empty input".into()))?;
+    let (magic, rest) = split_line(s).ok_or_else(|| ParseError::BadHeader("empty input".into()))?;
     if magic.trim() != "SQM-RELAX v1" {
         return Err(ParseError::BadHeader(magic.to_string()));
     }
-    let (_, meta) = lines
-        .next()
-        .ok_or_else(|| ParseError::BadHeader("missing meta".into()))?;
+    let (meta, mut payload) =
+        split_line(rest).ok_or_else(|| ParseError::BadHeader("missing meta".into()))?;
     let mut parts = meta.split_whitespace();
     let states = parse_kv(parts.next().unwrap_or(""), "states", meta)?;
     let nq = parse_kv(parts.next().unwrap_or(""), "qualities", meta)?;
@@ -170,24 +241,27 @@ pub fn relaxation_from_str(s: &str) -> Result<RelaxationTable, ParseError> {
     let expected = states * nq * rho.len();
     let mut lower = Vec::with_capacity(expected);
     let mut upper = Vec::with_capacity(expected);
-    for (line_no, line) in lines {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let (tag, rest) = line.split_at(1);
+    let mut line_no = 2usize;
+    while let Some((line, remainder)) = split_line(payload) {
+        payload = remainder;
+        line_no += 1;
+        let line = line.trim().as_bytes();
+        let Some((&tag, tail)) = line.split_first() else {
+            continue; // blank line
+        };
         let dest = match tag {
-            "L" => &mut lower,
-            "U" => &mut upper,
+            b'L' => &mut lower,
+            b'U' => &mut upper,
             other => {
                 return Err(ParseError::BadLine {
-                    line_no: line_no + 1,
-                    message: format!("expected L or U, got {other:?}"),
+                    line_no,
+                    message: format!("expected L or U, got {:?}", char::from(other)),
                 })
             }
         };
-        for token in rest.split_whitespace() {
-            dest.push(parse_time(token, line_no + 1)?);
+        let mut scanner = Scanner::new(tail, line_no);
+        while let Some((token, _)) = scanner.next_token() {
+            dest.push(parse_time_bytes(token).ok_or_else(|| bad_time(token, line_no))?);
         }
     }
     if lower.len() != expected || upper.len() != expected {
@@ -275,6 +349,33 @@ mod tests {
             relaxation_from_str("SQM-RELAX v1\nstates=1 qualities=1 rho=2,1\n"),
             Err(ParseError::Inconsistent(_))
         ));
+    }
+
+    #[test]
+    fn scanner_accepts_signs_extremes_and_loose_layout() {
+        // Tokens may be distributed across lines arbitrarily; '+' signs and
+        // the i64 extremes (which alias the infinity sentinels) parse.
+        let t = regions_from_str(
+            "SQM-REGIONS v1\nstates=2 qualities=2\n  +5\n\n-9223372036854775808 \
+             9223372036854775807\n-7\n",
+        )
+        .unwrap();
+        assert_eq!(
+            t.raw(),
+            &[
+                Time::from_ns(5),
+                Time::NEG_INF,
+                Time::INF,
+                Time::from_ns(-7)
+            ]
+        );
+        // Overflow, empty sign, and junk all fail on the token's line.
+        for bad in ["99999999999999999999", "-", "+", "12x"] {
+            assert!(matches!(
+                regions_from_str(&format!("SQM-REGIONS v1\nstates=1 qualities=1\n{bad}\n")),
+                Err(ParseError::BadLine { line_no: 3, .. })
+            ));
+        }
     }
 
     #[test]

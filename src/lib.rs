@@ -64,9 +64,10 @@
 //! The experiment harness and figure/table binaries live in the
 //! (unre-exported) `sqm-bench` crate; `cargo run -p sqm-bench --release
 //! --bin bench_baseline` emits the workspace's performance baseline,
-//! `… --bin bench_fleet` the multi-stream scaling point and
-//! `… --bin bench_stream` the live-traffic backlog/latency point next to
-//! them.
+//! `… --bin bench_fleet` the multi-stream scaling point,
+//! `… --bin bench_stream` the live-traffic backlog/latency point and
+//! `… --bin bench_hotpath` the decision-core fast-path point (naive scan
+//! vs incremental search, byte-identical in virtual time) next to them.
 //!
 //! ## Quickstart
 //!

@@ -119,6 +119,19 @@ fn assert_conformance<W: Workload + Sync>(w: &W) {
             "{label} {chaining:?}: periodic fleet spec != serial"
         );
 
+        // Path 5 — the hot (incremental-search) regions manager: the fast
+        // path is byte-identical to the naive scan in the virtual time
+        // domain, records included.
+        let mut hot_trace = speed_qm::core::trace::Trace::default();
+        let hot = w.run_closed_hot(CYCLES, chaining, JITTER, SEED, &mut hot_trace);
+        assert_eq!(hot, serial, "{label} {chaining:?}: hot managers != serial");
+        for (a, b) in trace.cycles.iter().zip(&hot_trace.cycles) {
+            assert_eq!(
+                a.records, b.records,
+                "{label} {chaining:?}: hot trace != serial trace"
+            );
+        }
+
         per_chaining.push(serial);
     }
     assert_ne!(
@@ -146,8 +159,9 @@ fn net_workload_conforms_across_all_paths() {
 
 /// The MPEG harness's manager-specific paths (numeric and relaxation are
 /// not reachable through the uniform `Workload` seam) honour the same
-/// identities: closed `run_into` ≡ trace-replay ≡ Periodic+Block
-/// `run_stream_into`, for every manager kind × both chaining variants.
+/// identities: closed `run_into` ≡ fast-path `run_into_fast` ≡
+/// trace-replay ≡ Periodic+Block `run_stream_into`, for every manager
+/// kind × both chaining variants.
 #[test]
 fn mpeg_manager_kinds_conform_across_paths() {
     for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
@@ -156,6 +170,15 @@ fn mpeg_manager_kinds_conform_across_paths() {
         for kind in ManagerKind::ALL {
             let mut trace = speed_qm::core::trace::Trace::default();
             let serial = exp.run_into(kind, CYCLES, JITTER, SEED, None, &mut trace);
+            let mut fast_trace = speed_qm::core::trace::Trace::default();
+            let fast = exp.run_into_fast(kind, CYCLES, JITTER, SEED, None, &mut fast_trace);
+            assert_eq!(fast, serial, "{kind:?} {chaining:?}: fast path != serial");
+            for (a, b) in trace.cycles.iter().zip(&fast_trace.cycles) {
+                assert_eq!(
+                    a.records, b.records,
+                    "{kind:?} {chaining:?}: fast trace != serial trace"
+                );
+            }
             assert_eq!(
                 trace.run_summary(),
                 serial,

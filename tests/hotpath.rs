@@ -1,0 +1,179 @@
+//! Fast-path ≡ naive-path identities for the decision core.
+//!
+//! The hot managers ([`HotLookupManager`] / [`HotRelaxedManager`]) and the
+//! table-level incremental searches (`choose_from` /
+//! `choose_relaxation_from`) must make **exactly** the choices of the
+//! naive top-down scans and charge **exactly** the analytic probe count —
+//! over arbitrary feasible systems, from *every* possible hint, including
+//! exact region-boundary times (`t = tD(s, q)` and ±1 ns) and the
+//! infeasible tail beyond `tD(s, qmin)`. Engine-level, a hot run's records
+//! must be byte-identical to the naive manager's.
+
+mod common;
+
+use common::{arb_system, cycle_fraction_exec, OVERHEAD};
+use proptest::prelude::*;
+use speed_qm::core::compiler::{compile_regions, compile_relaxation};
+use speed_qm::core::prelude::*;
+use speed_qm::core::trace::Trace;
+
+/// Decision times that exercise every structural case at `state`: each
+/// region boundary exactly, one below, one above, far past (infeasible
+/// tail), far early, and the relaxation bounds too.
+fn probe_times(regions: &QualityRegionTable, relax: &RelaxationTable, state: usize) -> Vec<Time> {
+    let mut times = vec![
+        Time::from_ns(-1_000_000),
+        Time::ZERO,
+        regions.t_d(state, Quality::MIN) + Time::from_ns(1_000_000),
+    ];
+    for q in regions.qualities().iter() {
+        let b = regions.t_d(state, q);
+        for delta in [-1i64, 0, 1] {
+            times.push(b + Time::from_ns(delta));
+        }
+        for ri in 0..relax.rho().len() {
+            let (lo, up) = relax.bounds(state, q, ri);
+            for t in [lo, up] {
+                if !t.is_infinite() {
+                    for delta in [-1i64, 0, 1] {
+                        times.push(t + Time::from_ns(delta));
+                    }
+                }
+            }
+        }
+    }
+    times
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Table-level: `choose_from` ≡ `choose` (same quality, same analytic
+    /// work) from every hint, and `choose_relaxation_from` ≡
+    /// `choose_relaxation` from every hint — at region boundaries, ±1 ns
+    /// around them, and in the infeasible tail.
+    #[test]
+    fn incremental_search_equals_naive_scan(arb in arb_system()) {
+        let sys = &arb.system;
+        let regions = compile_regions(sys);
+        let n = sys.n_actions();
+        let rho = StepSet::new((1..=n.min(3)).collect()).unwrap();
+        let relax = compile_relaxation(sys, &regions, rho);
+        for state in 0..n {
+            for t in probe_times(&regions, &relax, state) {
+                let (naive, probes) = regions.choose(state, t);
+                prop_assert_eq!(regions.scan_work(naive), probes);
+                for hint in sys.qualities().iter() {
+                    prop_assert_eq!(
+                        regions.choose_from(state, t, hint),
+                        naive,
+                        "state {} t {:?} hint {}", state, t, hint
+                    );
+                }
+                if let Some(q) = naive {
+                    let (r, r_probes) = relax.choose_relaxation(state, t, q);
+                    for hint in 0..relax.rho().len() {
+                        let found = relax.choose_relaxation_from(state, t, q, hint);
+                        prop_assert_eq!(
+                            found.map_or(1, |ri| relax.rho().steps()[ri]),
+                            r,
+                            "state {} t {:?} hint {}", state, t, hint
+                        );
+                        prop_assert_eq!(relax.scan_work(found), r_probes);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Engine-level: a run under the hot managers is byte-identical —
+    /// summaries *and* records — to the same run under the naive managers,
+    /// for both chaining variants.
+    #[test]
+    fn hot_managers_run_byte_identical(arb in arb_system(), cycles in 1usize..5) {
+        let sys = &arb.system;
+        let regions = compile_regions(sys);
+        let n = sys.n_actions();
+        let rho = StepSet::new((1..=n.min(3)).collect()).unwrap();
+        let relax = compile_relaxation(sys, &regions, rho);
+        let period = sys.final_deadline();
+        for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
+            // Lookup pair.
+            let mut naive_trace = Trace::default();
+            let naive = Engine::new(sys, LookupManager::new(&regions), OVERHEAD).run_cycles(
+                cycles,
+                period,
+                chaining,
+                &mut cycle_fraction_exec(sys, &arb.fractions),
+                &mut naive_trace,
+            );
+            let mut hot_trace = Trace::default();
+            let hot = Engine::new(sys, HotLookupManager::new(&regions), OVERHEAD).run_cycles(
+                cycles,
+                period,
+                chaining,
+                &mut cycle_fraction_exec(sys, &arb.fractions),
+                &mut hot_trace,
+            );
+            prop_assert_eq!(naive, hot, "{:?}", chaining);
+            for (a, b) in naive_trace.cycles.iter().zip(&hot_trace.cycles) {
+                prop_assert_eq!(&a.records, &b.records);
+            }
+
+            // Relaxed pair.
+            let mut naive_trace = Trace::default();
+            let naive = Engine::new(sys, RelaxedManager::new(&regions, &relax), OVERHEAD)
+                .run_cycles(
+                    cycles,
+                    period,
+                    chaining,
+                    &mut cycle_fraction_exec(sys, &arb.fractions),
+                    &mut naive_trace,
+                );
+            let mut hot_trace = Trace::default();
+            let hot = Engine::new(sys, HotRelaxedManager::new(&regions, &relax), OVERHEAD)
+                .run_cycles(
+                    cycles,
+                    period,
+                    chaining,
+                    &mut cycle_fraction_exec(sys, &arb.fractions),
+                    &mut hot_trace,
+                );
+            prop_assert_eq!(naive, hot, "{:?}", chaining);
+            for (a, b) in naive_trace.cycles.iter().zip(&hot_trace.cycles) {
+                prop_assert_eq!(&a.records, &b.records);
+            }
+        }
+    }
+
+    /// The summary-only engine path (`NullSink`, record construction
+    /// compiled out) agrees byte-for-byte with the recording path's
+    /// summary — the `WANTS_RECORDS` specialization must not change any
+    /// aggregate.
+    #[test]
+    fn null_sink_summary_equals_recording_summary(arb in arb_system(), cycles in 1usize..5) {
+        let sys = &arb.system;
+        let regions = compile_regions(sys);
+        let period = sys.final_deadline();
+        for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
+            let recorded = {
+                let mut trace = Trace::default();
+                Engine::new(sys, HotLookupManager::new(&regions), OVERHEAD).run_cycles(
+                    cycles,
+                    period,
+                    chaining,
+                    &mut cycle_fraction_exec(sys, &arb.fractions),
+                    &mut trace,
+                )
+            };
+            let null = Engine::new(sys, HotLookupManager::new(&regions), OVERHEAD).run_cycles(
+                cycles,
+                period,
+                chaining,
+                &mut cycle_fraction_exec(sys, &arb.fractions),
+                &mut NullSink,
+            );
+            prop_assert_eq!(recorded, null, "{:?}", chaining);
+        }
+    }
+}
