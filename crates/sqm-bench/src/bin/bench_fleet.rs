@@ -10,9 +10,9 @@
 //!   whole reproduction runs in (every stream has its own virtual clock),
 //!   deterministic and hardware-independent: with `S` similar streams the
 //!   speedup at `W ≤ S` workers approaches `W`;
-//! * **host wall-clock** per worker count — machine-dependent (track
-//!   deltas, not absolutes; on a single-core container the thread variants
-//!   only add scheduling overhead).
+//! * **host wall-clock** per worker count, the median of 5 samples —
+//!   machine-dependent (track deltas, not absolutes; on a single-core
+//!   container the thread variants only add scheduling overhead).
 //!
 //! The binary also pins the correctness side of the bargain before it
 //! publishes numbers: the 1-worker fleet result must be byte-identical to
@@ -50,18 +50,27 @@ fn main() {
 
     let mut entries = Vec::new();
     for workers in [1usize, 2, 4, 8] {
-        // Warm-up, then time the whole fleet run on the host clock.
-        let _ = exp.run(&specs, workers);
-        let t0 = Instant::now();
+        // Warm-up, then time whole fleet runs on the host clock and keep
+        // the median of 5 samples (robust against scheduler noise).
         let fleet = exp.run(&specs, workers);
-        let host_ns = t0.elapsed().as_nanos() as f64;
         assert_eq!(fleet, serial, "workers = {workers} changed the result");
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                let out = exp.run(&specs, workers);
+                let ns = t0.elapsed().as_nanos() as f64;
+                assert_eq!(out, serial, "workers = {workers} diverged mid-measurement");
+                ns
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let host_ns = samples[samples.len() / 2];
 
         let makespan_ns = fleet.virtual_makespan(workers).as_ns();
         let speedup = fleet.virtual_speedup(workers);
         println!(
             "workers {workers}: virtual makespan {makespan_ns} ns, \
-             virtual speedup {speedup:.2}x, host {host_ns:.0} ns",
+             virtual speedup {speedup:.2}x, host {host_ns:.0} ns (median of 5)",
         );
         entries.push(format!(
             concat!(
@@ -81,7 +90,7 @@ fn main() {
             "{{\n",
             "  \"schema\": \"speed-qm/bench-fleet/v1\",\n",
             "  \"config\": \"FleetExperiment::small(7), {} mixed mpeg+audio+net streams x {} cycles\",\n",
-            "  \"note\": \"virtual-* numbers are deterministic platform-model quantities; host_wall_ns is machine-dependent (track deltas, not absolutes)\",\n",
+            "  \"note\": \"virtual-* numbers are deterministic platform-model quantities; host_wall_ns is the machine-dependent median of 5 samples (track deltas, not absolutes)\",\n",
             "  \"one_worker_byte_identical_to_serial\": true,\n",
             "  \"aggregate\": {{\n",
             "    \"streams\": {},\n",

@@ -28,11 +28,17 @@
 //! * [`net`] — the packet-pipeline workload: bursty line-rate traffic
 //!   under tail drop (`cargo run -p sqm-bench --release --bin bench_net`
 //!   emits `BENCH_net.json`, the trajectory's fourth point).
+//! * [`elastic`] — the elastic-scheduler stress: 10⁵ micro live streams
+//!   interleaved per-cycle through `sqm_core::elastic` (`cargo run -p
+//!   sqm-bench --release --bin bench_elastic` emits `BENCH_elastic.json`,
+//!   the trajectory's many-streams point: streams/sec and ns/action
+//!   versus worker count, gated on byte-identity with the serial path).
 //! * [`report`] — ASCII tables/plots for the figure binaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod elastic;
 pub mod fleet;
 pub mod harness;
 pub mod net;
@@ -40,6 +46,7 @@ pub mod report;
 pub mod streaming;
 pub mod workload;
 
+pub use elastic::{normalize_backlog, ElasticExperiment};
 pub use fleet::{FleetExperiment, FleetWorkload};
 pub use harness::{run_paper_experiment, ExperimentResult, ManagerKind, PaperExperiment};
 pub use net::NetExperiment;

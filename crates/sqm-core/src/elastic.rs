@@ -1,0 +1,1157 @@
+//! Elastic fleet scheduling — 10⁵–10⁶ *live* streams multiplexed onto few
+//! workers, interleaved **by arrival time** instead of sharded whole.
+//!
+//! [`crate::fleet::FleetRunner`] scales out by giving each worker entire
+//! streams; that is the right unit when streams are closed loops, but a
+//! live deployment has many mostly-idle streams whose cycles *interleave*
+//! in time. This module schedules at cycle granularity:
+//!
+//! * a **sharded binary event heap** ([`ShardedEventHeap`], one lane per
+//!   worker) keyed by each stream's next virtual arrival time — obtained
+//!   without consumption via [`ArrivalSource::peek`];
+//! * a **start-event heap** ([`EventHeap`]) keyed by the absolute start
+//!   time of each stream's next runnable cycle;
+//! * a fixed-capacity **ready ring**: each scheduling round drains due
+//!   events into at most [`ElasticConfig::ring_capacity`] ready cycles;
+//! * **per-worker run queues with deterministic stealing**: the ring is
+//!   split into one contiguous segment per worker, each with its own
+//!   cacheline-padded claim cursor; a worker that drains its segment
+//!   steals from victims chosen by `(worker + step + round) % workers` —
+//!   a function of worker index and round counter, never host timing;
+//! * **fleet-wide admission control** ([`Admission::DropNewest`]): a
+//!   shared [`ShedLedger`] counts the *aggregate* backlog, and a frame is
+//!   shed iff its stream is already behind **and** the fleet as a whole
+//!   is over capacity — load shedding as a global decision, not a
+//!   per-stream one.
+//!
+//! ## The determinism contract
+//!
+//! Results are **byte-identical for every worker count**. The design
+//! splits the problem in two:
+//!
+//! 1. *Virtual-time scheduling* — which frames are admitted or shed, and
+//!    when each admitted cycle starts — is computed by a serial,
+//!    deterministic discrete-event loop over the heaps. Nothing in it
+//!    reads the worker count: the sharded heap pops the global minimum
+//!    across lanes (keys are unique per stream, so lane count cannot
+//!    change pop order), and the ring capacity is configuration, not
+//!    `workers`.
+//! 2. *Host execution* — which worker runs which ready cycle — only maps
+//!    already-scheduled work onto threads. Streams are independent and a
+//!    stream has at most one cycle per round, so assignment (and
+//!    stealing) changes wall-clock time, never results.
+//!
+//! Per-stream results under [`Admission::Unbounded`] are identical to
+//! running each stream through [`crate::stream::StreamingRunner`] with
+//! [`OverloadPolicy::Block`] — the per-stream recurrence (`start =
+//! max(now, arrival)` live, `start = now` work-conserving; `now = arrival
+//! + end`) is the same code, [`StreamCursor`]. The one caveat:
+//! [`StreamStats::max_backlog`] is observed at *scheduler* granularity
+//! here (a round may admit arrivals slightly earlier than the per-stream
+//! runner would have observed them), so cross-path comparisons normalize
+//! that field; across elastic worker counts it is byte-identical like
+//! everything else. `tests/conformance.rs` pins both properties.
+//!
+//! ## Admission semantics
+//!
+//! Admission is **round-granular**: a frame is judged when the event loop
+//! reaches its arrival, against the backlog accumulated so far. A frame
+//! counts toward the global backlog iff, at admission, its stream is
+//! already behind (a cycle in flight or frames queued); a frame that
+//! finds its stream idle starts promptly and is never counted or shed.
+//! Shed frames still consume their stream's cycle index, keeping
+//! content-driven execution-time sources aligned (same rule as
+//! [`crate::stream`]).
+//!
+//! [`OverloadPolicy::Block`]: crate::stream::OverloadPolicy::Block
+//! [`StreamStats::max_backlog`]: crate::stream::StreamStats::max_backlog
+
+use crate::controller::ExecutionTimeSource;
+use crate::engine::{CycleChaining, CycleSummary, Engine, RunSummary, TraceSink};
+use crate::fleet::CachePadded;
+use crate::manager::QualityManager;
+use crate::source::ArrivalSource;
+use crate::stream::{StreamCursor, StreamStats, StreamSummary};
+use crate::time::Time;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
+
+/// A hand-rolled binary min-heap of `(time, stream)` events.
+///
+/// Keys are totally ordered (ties broken by stream id), `push`/`pop` are
+/// `O(log n)` with no allocation beyond the backing `Vec` — the only heap
+/// operations the scheduler's hot loop needs, without pulling in
+/// `BinaryHeap`'s max-order and `Reverse` wrappers.
+///
+/// # Examples
+///
+/// ```
+/// use sqm_core::elastic::EventHeap;
+/// use sqm_core::time::Time;
+///
+/// let mut heap = EventHeap::new();
+/// heap.push(Time::from_ns(30), 2);
+/// heap.push(Time::from_ns(10), 7);
+/// heap.push(Time::from_ns(10), 3);
+/// assert_eq!(heap.pop(), Some((Time::from_ns(10), 3)), "time, then id");
+/// assert_eq!(heap.pop(), Some((Time::from_ns(10), 7)));
+/// assert_eq!(heap.pop(), Some((Time::from_ns(30), 2)));
+/// assert_eq!(heap.pop(), None);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EventHeap {
+    items: Vec<(Time, u32)>,
+}
+
+impl EventHeap {
+    /// An empty heap.
+    pub fn new() -> EventHeap {
+        EventHeap::default()
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The minimum event without removing it.
+    pub fn peek(&self) -> Option<(Time, u32)> {
+        self.items.first().copied()
+    }
+
+    /// Queue an event.
+    pub fn push(&mut self, time: Time, stream: u32) {
+        self.items.push((time, stream));
+        let mut i = self.items.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.items[parent] <= self.items[i] {
+                break;
+            }
+            self.items.swap(parent, i);
+            i = parent;
+        }
+    }
+
+    /// Remove and return the minimum event.
+    pub fn pop(&mut self) -> Option<(Time, u32)> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let min = self.items.swap_remove(0);
+        let n = self.items.len();
+        let mut i = 0;
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let child = if r < n && self.items[r] < self.items[l] {
+                r
+            } else {
+                l
+            };
+            if self.items[i] <= self.items[child] {
+                break;
+            }
+            self.items.swap(i, child);
+            i = child;
+        }
+        Some(min)
+    }
+}
+
+/// One [`EventHeap`] lane per worker, keyed by stream id (`stream %
+/// lanes`), popped globally smallest-first.
+///
+/// Each stream has at most one pending arrival event, so every key is
+/// unique and the pop order across lanes is exactly the sorted order of
+/// all queued events — **independent of the lane count**. That is what
+/// lets the lane count track the worker count (locality: a worker's
+/// streams cluster in its lane) without the worker count ever leaking
+/// into scheduling decisions.
+#[derive(Clone, Debug)]
+pub struct ShardedEventHeap {
+    lanes: Vec<EventHeap>,
+}
+
+impl ShardedEventHeap {
+    /// A heap with `lanes` lanes (clamped to at least 1).
+    pub fn new(lanes: usize) -> ShardedEventHeap {
+        ShardedEventHeap {
+            lanes: vec![EventHeap::new(); lanes.max(1)],
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Total queued events across lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(EventHeap::len).sum()
+    }
+
+    /// `true` when every lane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.iter().all(EventHeap::is_empty)
+    }
+
+    /// Queue an event in its stream's lane.
+    pub fn push(&mut self, time: Time, stream: u32) {
+        let lane = stream as usize % self.lanes.len();
+        self.lanes[lane].push(time, stream);
+    }
+
+    /// The globally minimum event across lanes, without removing it.
+    pub fn peek_min(&self) -> Option<(Time, u32)> {
+        self.lanes.iter().filter_map(EventHeap::peek).min()
+    }
+
+    /// Remove and return the globally minimum event.
+    pub fn pop_min(&mut self) -> Option<(Time, u32)> {
+        let lane = self
+            .lanes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.peek().map(|top| (top, i)))
+            .min()?
+            .1;
+        self.lanes[lane].pop()
+    }
+}
+
+/// Fleet-wide admission control for arriving frames.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Admission {
+    /// Admit every frame (backpressure upstream). Per-stream results are
+    /// identical to [`crate::stream::StreamingRunner`] with
+    /// [`OverloadPolicy::Block`](crate::stream::OverloadPolicy::Block).
+    #[default]
+    Unbounded,
+    /// Tail-drop against the **aggregate** backlog: an arriving frame
+    /// whose stream is already behind is shed iff the fleet-wide count of
+    /// behind frames has reached `global_capacity`. Streams that keep up
+    /// are never shed, no matter how overloaded the rest of the fleet is.
+    DropNewest {
+        /// Fleet-wide bound on frames waiting behind a busy stream.
+        global_capacity: usize,
+    },
+}
+
+/// The shared shed ledger: fleet-wide admission counters, maintained by
+/// the (serial, deterministic) scheduling loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShedLedger {
+    /// Frames delivered by all sources.
+    pub arrived: usize,
+    /// Frames admitted (executed eventually).
+    pub admitted: usize,
+    /// Frames shed by [`Admission::DropNewest`].
+    pub shed: usize,
+    /// High-water mark of the aggregate backlog (frames queued behind
+    /// busy streams, fleet-wide).
+    pub peak_backlog: usize,
+    /// Scheduling rounds executed (ring refills).
+    pub rounds: usize,
+}
+
+/// How an [`ElasticRunner`] chains, batches and sheds cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ElasticConfig {
+    /// How cycle starts chain onto arrivals (same semantics as
+    /// [`crate::stream::StreamConfig::chaining`]).
+    pub chaining: CycleChaining,
+    /// Ready-ring capacity: the most cycles one scheduling round hands to
+    /// the workers (clamped to at least 1). Fixed configuration — **not**
+    /// derived from the worker count, so it never breaks the determinism
+    /// contract. Bigger rings amortize round overhead; smaller rings make
+    /// admission decisions track execution more closely.
+    pub ring_capacity: usize,
+    /// Fleet-wide admission control.
+    pub admission: Admission,
+}
+
+impl ElasticConfig {
+    /// Live-capture chaining, a 1024-cycle ring, unbounded admission.
+    pub fn live() -> ElasticConfig {
+        ElasticConfig {
+            chaining: CycleChaining::ArrivalClamped,
+            ring_capacity: 1024,
+            admission: Admission::Unbounded,
+        }
+    }
+
+    /// Replace the chaining discipline.
+    pub fn with_chaining(mut self, chaining: CycleChaining) -> ElasticConfig {
+        self.chaining = chaining;
+        self
+    }
+
+    /// Replace the ring capacity.
+    pub fn with_ring_capacity(mut self, ring_capacity: usize) -> ElasticConfig {
+        self.ring_capacity = ring_capacity;
+        self
+    }
+
+    /// Replace the admission policy.
+    pub fn with_admission(mut self, admission: Admission) -> ElasticConfig {
+        self.admission = admission;
+        self
+    }
+}
+
+impl Default for ElasticConfig {
+    fn default() -> ElasticConfig {
+        ElasticConfig::live()
+    }
+}
+
+/// Executes one cycle of one stream — the seam between the elastic
+/// scheduler (which decides *when* cycles run) and the engine (which runs
+/// them).
+///
+/// `start` is the cycle's start **relative to its arrival** (the same
+/// convention as [`Engine::run_cycle`]; negative under work-conserving
+/// prefetch). Implementations own whatever per-stream state execution
+/// needs — engine, execution-time source, sink — so the scheduler stays
+/// generic and allocation-free per cycle. [`EngineDriver`] is the
+/// standard implementation.
+pub trait CycleDriver {
+    /// Run cycle `cycle` starting at arrival-relative time `start` and
+    /// report what happened.
+    fn run_cycle(&mut self, cycle: usize, start: Time) -> CycleSummary;
+}
+
+/// The standard [`CycleDriver`]: one monomorphized [`Engine`] plus its
+/// execution-time source and trace sink, owned per stream.
+pub struct EngineDriver<'sys, M: QualityManager, X, S> {
+    engine: Engine<'sys, M>,
+    exec: X,
+    sink: S,
+}
+
+impl<'sys, M: QualityManager, X, S> EngineDriver<'sys, M, X, S> {
+    /// A driver running cycles of `engine` against `exec`, streaming
+    /// records into `sink`.
+    pub fn new(engine: Engine<'sys, M>, exec: X, sink: S) -> EngineDriver<'sys, M, X, S> {
+        EngineDriver { engine, exec, sink }
+    }
+
+    /// The driver's trace sink (to read back captured traces after a
+    /// run — [`ElasticRunner::run`] returns the drivers for exactly
+    /// this).
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Dismantle the driver into its parts.
+    pub fn into_parts(self) -> (Engine<'sys, M>, X, S) {
+        (self.engine, self.exec, self.sink)
+    }
+}
+
+impl<M, X, S> CycleDriver for EngineDriver<'_, M, X, S>
+where
+    M: QualityManager,
+    X: ExecutionTimeSource,
+    S: TraceSink,
+{
+    #[inline]
+    fn run_cycle(&mut self, cycle: usize, start: Time) -> CycleSummary {
+        self.engine
+            .run_cycle(cycle, start, &mut self.exec, &mut self.sink)
+    }
+}
+
+/// Everything a finished elastic run reports: per-stream
+/// [`StreamSummary`]s in submission order, their merged aggregates, and
+/// the fleet-wide [`ShedLedger`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ElasticSummary {
+    per_stream: Vec<StreamSummary>,
+    run: RunSummary,
+    stats: StreamStats,
+    ledger: ShedLedger,
+}
+
+impl ElasticSummary {
+    /// Number of streams that ran.
+    pub fn n_streams(&self) -> usize {
+        self.per_stream.len()
+    }
+
+    /// Per-stream summaries, indexed by submission order.
+    pub fn per_stream(&self) -> &[StreamSummary] {
+        &self.per_stream
+    }
+
+    /// One stream's summary.
+    pub fn stream(&self, i: usize) -> &StreamSummary {
+        &self.per_stream[i]
+    }
+
+    /// The merged engine aggregates over all streams.
+    pub fn run(&self) -> &RunSummary {
+        &self.run
+    }
+
+    /// The merged backlog/latency aggregates over all streams.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// The fleet-wide admission ledger.
+    pub fn ledger(&self) -> &ShedLedger {
+        &self.ledger
+    }
+}
+
+/// One cycle the scheduler has committed to run this round.
+#[derive(Clone, Copy, Debug)]
+struct Ready {
+    stream: u32,
+    frame: usize,
+    arrival: Time,
+    start: Time,
+}
+
+/// Worker-side per-stream state: the driver and the execution cursor,
+/// behind a mutex so any worker can run the stream's next cycle. A stream
+/// has at most one ready cycle per round, so the locks never contend —
+/// they exist for thread-safety proof, not for queuing.
+struct Slot<D> {
+    driver: D,
+    cursor: StreamCursor,
+}
+
+/// Scheduler-side per-stream state (never crosses a thread boundary).
+struct SchedStream<A> {
+    source: A,
+    /// Monotonicity clamp for source timestamps (same contract as
+    /// `StreamingRunner`).
+    floor: Time,
+    /// Next frame index; shed frames consume theirs.
+    next_frame: usize,
+    /// Admitted frames not yet started: `(frame, arrival, counted)`,
+    /// where `counted` records whether the frame was charged to the
+    /// global backlog at admission.
+    queue: VecDeque<(usize, Time, bool)>,
+    /// A cycle of this stream is in the current round's ring.
+    in_flight: bool,
+}
+
+/// The serial deterministic scheduling core: owns the heaps, the queues
+/// and the ledger; fills the ring each round and folds completions back
+/// in between rounds. Never sees the worker count.
+struct Scheduler<A> {
+    chaining: CycleChaining,
+    admission: Admission,
+    ring_capacity: usize,
+    streams: Vec<SchedStream<A>>,
+    start_heap: EventHeap,
+    arrivals: ShardedEventHeap,
+    /// Latest start time ever scheduled: arrivals beyond it wait, which
+    /// bounds queue growth and keeps admission decisions near the
+    /// execution frontier. Monotone, worker-count independent.
+    horizon: Time,
+    /// Aggregate count of `counted` frames currently queued.
+    backlog: usize,
+    ledger: ShedLedger,
+}
+
+impl<A: ArrivalSource> Scheduler<A> {
+    fn new(config: ElasticConfig, lanes: usize, sources: Vec<A>) -> Scheduler<A> {
+        let mut arrivals = ShardedEventHeap::new(lanes);
+        let mut streams = Vec::with_capacity(sources.len());
+        for (i, mut source) in sources.into_iter().enumerate() {
+            let floor = Time::ZERO;
+            if let Some(t) = source.peek() {
+                arrivals.push(t.max(floor), i as u32);
+            }
+            streams.push(SchedStream {
+                source,
+                floor,
+                next_frame: 0,
+                queue: VecDeque::new(),
+                in_flight: false,
+            });
+        }
+        Scheduler {
+            chaining: config.chaining,
+            admission: config.admission,
+            ring_capacity: config.ring_capacity.max(1),
+            streams,
+            start_heap: EventHeap::new(),
+            arrivals,
+            horizon: Time::NEG_INF,
+            backlog: 0,
+            ledger: ShedLedger::default(),
+        }
+    }
+
+    /// Drain due events into `ring` (cleared first), up to capacity.
+    /// Event order is the global `(time, start-before-arrival, stream)`
+    /// order; an arrival is *due* once it is at or before the horizon, or
+    /// unconditionally when nothing is scheduled at all (bootstrap). An
+    /// empty ring on return means the run is complete.
+    fn fill<D>(&mut self, ring: &mut Vec<Ready>, slots: &[Mutex<Slot<D>>]) {
+        ring.clear();
+        loop {
+            if ring.len() == self.ring_capacity {
+                break;
+            }
+            let start_top = self.start_heap.peek();
+            let arrival_top = self.arrivals.peek_min();
+            let arrival_due = match arrival_top {
+                Some((ta, _)) => ta <= self.horizon || (ring.is_empty() && start_top.is_none()),
+                None => false,
+            };
+            let take_start = match (start_top, arrival_top) {
+                (Some(_), None) => true,
+                (None, _) => false,
+                // Start beats arrival on time ties: a stream's queued
+                // frame begins before the next arrival is judged.
+                (Some((ts, _)), Some((ta, _))) => !arrival_due || ts <= ta,
+            };
+            if take_start {
+                let (ts, s) = self.start_heap.pop().expect("peeked");
+                self.process_start(ts, s, ring);
+            } else if arrival_due {
+                let (ta, s) = self.arrivals.pop_min().expect("peeked");
+                self.process_arrival(ta, s, slots);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn process_start(&mut self, ts: Time, s: u32, ring: &mut Vec<Ready>) {
+        let st = &mut self.streams[s as usize];
+        let (frame, arrival, counted) = st
+            .queue
+            .pop_front()
+            .expect("a start event implies a queued frame");
+        if counted {
+            self.backlog -= 1;
+        }
+        st.in_flight = true;
+        ring.push(Ready {
+            stream: s,
+            frame,
+            arrival,
+            start: ts,
+        });
+        self.horizon = self.horizon.max(ts);
+    }
+
+    fn process_arrival<D>(&mut self, ta: Time, s: u32, slots: &[Mutex<Slot<D>>]) {
+        let st = &mut self.streams[s as usize];
+        let frame = st.next_frame;
+        st.next_frame += 1;
+        self.ledger.arrived += 1;
+        // Workers are parked while the scheduler runs, so slot locks are
+        // uncontended here.
+        let mut slot = slots[s as usize].lock().expect("slot lock");
+        slot.cursor.note_arrival();
+        // A frame counts toward the global backlog iff its stream is
+        // already behind; only counted frames are ever shed.
+        let counted = st.in_flight || !st.queue.is_empty();
+        let shed = match self.admission {
+            Admission::Unbounded => false,
+            Admission::DropNewest { global_capacity } => counted && self.backlog >= global_capacity,
+        };
+        if shed {
+            self.ledger.shed += 1;
+            slot.cursor.note_drop();
+        } else {
+            self.ledger.admitted += 1;
+            if counted {
+                self.backlog += 1;
+                self.ledger.peak_backlog = self.ledger.peak_backlog.max(self.backlog);
+            }
+            st.queue.push_back((frame, ta, counted));
+            if !st.in_flight && st.queue.len() == 1 {
+                self.start_heap
+                    .push(slot.cursor.start_for(self.chaining, ta), s);
+            }
+            // The queue front of an idle stream is about to start (its
+            // start event exists) — it is "in service", not waiting.
+            slot.cursor
+                .note_backlog(st.queue.len() - usize::from(!st.in_flight));
+        }
+        drop(slot);
+        // Consume the peeked timestamp and re-key the stream's lane on
+        // the following one. peek-then-next ≡ next keeps this exact.
+        let consumed = st
+            .source
+            .next_arrival()
+            .expect("a queued arrival event implies a pending timestamp")
+            .max(st.floor);
+        st.floor = consumed;
+        debug_assert_eq!(consumed, ta, "peeked and consumed timestamps agree");
+        if let Some(next) = st.source.peek() {
+            self.arrivals.push(next.max(st.floor), s);
+        }
+    }
+
+    /// Fold a finished round back in: every executed stream's clock has
+    /// advanced, so streams with queued frames get their next start
+    /// event.
+    fn complete_round<D>(&mut self, ring: &[Ready], slots: &[Mutex<Slot<D>>]) {
+        for r in ring {
+            let st = &mut self.streams[r.stream as usize];
+            st.in_flight = false;
+            if let Some(&(_, arrival, _)) = st.queue.front() {
+                let slot = slots[r.stream as usize].lock().expect("slot lock");
+                self.start_heap
+                    .push(slot.cursor.start_for(self.chaining, arrival), r.stream);
+            }
+        }
+        self.ledger.rounds += 1;
+    }
+}
+
+/// Runs many live streams through per-cycle elastic scheduling on a
+/// fixed-size pool of scoped OS threads.
+///
+/// Construction fixes the worker count and the [`ElasticConfig`]; one
+/// runner value can drive many fleets. With one worker (or one stream)
+/// everything runs inline on the caller's thread — which is also the
+/// reference schedule every multi-worker run is guaranteed to reproduce
+/// byte-for-byte.
+///
+/// # Examples
+///
+/// Four periodic streams over two workers; the aggregates match four
+/// serial [`StreamingRunner`](crate::stream::StreamingRunner) runs:
+///
+/// ```
+/// use sqm_core::controller::{ConstantExec, OverheadModel};
+/// use sqm_core::elastic::{ElasticConfig, ElasticRunner, EngineDriver};
+/// use sqm_core::engine::{Engine, NullSink};
+/// use sqm_core::manager::NumericManager;
+/// use sqm_core::policy::MixedPolicy;
+/// use sqm_core::source::Periodic;
+/// use sqm_core::system::SystemBuilder;
+/// use sqm_core::time::Time;
+///
+/// let sys = SystemBuilder::new(2)
+///     .action("decode", &[100, 200], &[60, 120])
+///     .action("render", &[100, 200], &[60, 120])
+///     .deadline_last(Time::from_ns(500))
+///     .build()
+///     .unwrap();
+/// let policy = MixedPolicy::new(&sys);
+///
+/// let streams: Vec<_> = (0..4)
+///     .map(|_| {
+///         (
+///             Periodic::new(Time::from_ns(500), 3),
+///             EngineDriver::new(
+///                 Engine::new(&sys, NumericManager::new(&sys, &policy), OverheadModel::ZERO),
+///                 ConstantExec::average(sys.table()),
+///                 NullSink,
+///             ),
+///         )
+///     })
+///     .collect();
+///
+/// let (summary, _drivers) = ElasticRunner::new(2, ElasticConfig::live()).run(streams);
+/// assert_eq!(summary.n_streams(), 4);
+/// assert_eq!(summary.run().cycles, 12);
+/// assert_eq!(summary.stats().processed, 12);
+/// assert_eq!(summary.ledger().shed, 0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ElasticRunner {
+    workers: usize,
+    config: ElasticConfig,
+}
+
+impl ElasticRunner {
+    /// A runner with `workers` threads (clamped to at least 1) and the
+    /// given configuration.
+    pub fn new(workers: usize, config: ElasticConfig) -> ElasticRunner {
+        ElasticRunner {
+            workers: workers.max(1),
+            config,
+        }
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The runner's configuration.
+    pub fn config(&self) -> ElasticConfig {
+        self.config
+    }
+
+    /// Drain every stream's source, scheduling cycles fleet-wide in
+    /// arrival order and executing each round's ready cycles on the
+    /// worker pool. Returns the summary and the drivers (in submission
+    /// order), so callers can extract sinks or reuse engines.
+    pub fn run<A, D>(&self, streams: Vec<(A, D)>) -> (ElasticSummary, Vec<D>)
+    where
+        A: ArrivalSource,
+        D: CycleDriver + Send,
+    {
+        assert!(
+            u32::try_from(streams.len()).is_ok(),
+            "stream ids are u32: at most {} streams",
+            u32::MAX
+        );
+        let n = streams.len();
+        let workers = self.workers.min(n.max(1));
+        let mut sources = Vec::with_capacity(n);
+        let mut slots = Vec::with_capacity(n);
+        for (source, driver) in streams {
+            sources.push(source);
+            slots.push(Mutex::new(Slot {
+                driver,
+                cursor: StreamCursor::new(),
+            }));
+        }
+        let mut sched = Scheduler::new(self.config, workers, sources);
+
+        if workers == 1 {
+            let mut ring = Vec::with_capacity(sched.ring_capacity);
+            loop {
+                sched.fill(&mut ring, &slots);
+                if ring.is_empty() {
+                    break;
+                }
+                for r in &ring {
+                    execute(r, &slots[r.stream as usize]);
+                }
+                sched.complete_round(&ring, &slots);
+            }
+        } else {
+            let ring_lock = RwLock::new(Vec::with_capacity(sched.ring_capacity));
+            let cursors: Vec<CachePadded<AtomicUsize>> = (0..workers)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect();
+            // Two waits per round: A releases workers onto a filled ring,
+            // B hands control back to the scheduler.
+            let barrier = Barrier::new(workers + 1);
+            let done = AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let ring_lock = &ring_lock;
+                    let cursors = &cursors;
+                    let barrier = &barrier;
+                    let done = &done;
+                    let slots = &slots;
+                    scope.spawn(move || {
+                        let mut round = 0usize;
+                        loop {
+                            barrier.wait();
+                            if done.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let ring = ring_lock.read().expect("ring lock");
+                            let len = ring.len();
+                            // Own segment first, then steal; victim order
+                            // is a function of (worker, round) only —
+                            // deterministic policy, and result-neutral
+                            // because every claim goes through the
+                            // segment cursors.
+                            for step in 0..workers {
+                                let v = (w + step + round) % workers;
+                                if step > 0 && v == w {
+                                    continue;
+                                }
+                                let v = if step == 0 { w } else { v };
+                                let end = (v + 1) * len / workers;
+                                loop {
+                                    let i = cursors[v].fetch_add(1, Ordering::Relaxed);
+                                    if i >= end {
+                                        break;
+                                    }
+                                    let r = ring[i];
+                                    execute(&r, &slots[r.stream as usize]);
+                                }
+                            }
+                            drop(ring);
+                            barrier.wait();
+                            round += 1;
+                        }
+                    });
+                }
+                loop {
+                    {
+                        let mut ring = ring_lock.write().expect("ring lock");
+                        sched.fill(&mut ring, &slots);
+                        if ring.is_empty() {
+                            done.store(true, Ordering::Release);
+                            barrier.wait();
+                            break;
+                        }
+                        let len = ring.len();
+                        for (v, cursor) in cursors.iter().enumerate() {
+                            cursor.store(v * len / workers, Ordering::Relaxed);
+                        }
+                    }
+                    barrier.wait();
+                    barrier.wait();
+                    let ring = ring_lock.read().expect("ring lock");
+                    sched.complete_round(&ring, &slots);
+                }
+            });
+        }
+
+        let mut summary = ElasticSummary {
+            per_stream: Vec::with_capacity(n),
+            run: RunSummary::default(),
+            stats: StreamStats::default(),
+            ledger: sched.ledger,
+        };
+        let mut drivers = Vec::with_capacity(n);
+        for slot in slots {
+            let slot = slot.into_inner().expect("slot lock");
+            let s = slot.cursor.summary();
+            summary.run.merge(&s.run);
+            summary.stats.merge(&s.stats);
+            summary.per_stream.push(s);
+            drivers.push(slot.driver);
+        }
+        (summary, drivers)
+    }
+}
+
+/// Run one ready cycle: the hot path every worker executes.
+fn execute<D: CycleDriver>(r: &Ready, slot: &Mutex<Slot<D>>) {
+    let mut slot = slot.lock().expect("slot lock");
+    let summary = slot.driver.run_cycle(r.frame, r.start - r.arrival);
+    slot.cursor.absorb(r.arrival, r.start, &summary);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{ConstantExec, FnExec, OverheadModel};
+    use crate::engine::NullSink;
+    use crate::manager::NumericManager;
+    use crate::policy::MixedPolicy;
+    use crate::source::{Bursty, Jittered, PatternSource, Periodic};
+    use crate::stream::{OverloadPolicy, StreamConfig, StreamingRunner};
+    use crate::system::{ParameterizedSystem, SystemBuilder};
+
+    const PERIOD: Time = Time::from_ns(130);
+
+    fn sys() -> ParameterizedSystem {
+        SystemBuilder::new(3)
+            .action("a", &[10, 25, 40], &[4, 9, 14])
+            .action("b", &[12, 22, 35], &[6, 11, 17])
+            .action("c", &[8, 18, 28], &[3, 8, 12])
+            .action("d", &[15, 24, 33], &[7, 12, 16])
+            .deadline_last(PERIOD)
+            .build()
+            .unwrap()
+    }
+
+    fn source_mix(i: usize, frames: usize) -> PatternSource {
+        match i % 3 {
+            0 => PatternSource::Periodic(Periodic::new(PERIOD, frames)),
+            1 => PatternSource::Jittered(Jittered::new(
+                PERIOD,
+                Time::from_ns(40),
+                frames,
+                7 + i as u64,
+            )),
+            _ => PatternSource::Bursty(Bursty::new(PERIOD, 4, frames, 11 + i as u64)),
+        }
+    }
+
+    /// Seed-dependent deterministic exec times (cloneable across paths).
+    fn exec_for(sys: &ParameterizedSystem, seed: u64) -> impl ExecutionTimeSource + Send + '_ {
+        FnExec(
+            move |cycle: usize, action: usize, q: crate::quality::Quality| {
+                let wc = sys.table().wc(action, q).as_ns();
+                let f = 40 + ((seed as usize + cycle + action) % 50) as i64;
+                Time::from_ns(wc * f / 100)
+            },
+        )
+    }
+
+    fn drivers<'a>(
+        s: &'a ParameterizedSystem,
+        p: &'a MixedPolicy<'a>,
+        n: usize,
+        frames: usize,
+    ) -> Vec<(PatternSource, impl CycleDriver + Send + 'a)> {
+        (0..n)
+            .map(|i| {
+                (
+                    source_mix(i, frames),
+                    EngineDriver::new(
+                        Engine::new(
+                            s,
+                            NumericManager::new(s, p),
+                            OverheadModel::new(Time::from_ns(2), Time::from_ns(1)),
+                        ),
+                        exec_for(s, i as u64),
+                        NullSink,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn event_heap_pops_sorted() {
+        let mut heap = EventHeap::new();
+        let times = [50i64, 10, 30, 10, 90, 0, 30, 70];
+        for (i, t) in times.iter().enumerate() {
+            heap.push(Time::from_ns(*t), i as u32);
+        }
+        assert_eq!(heap.len(), times.len());
+        let mut out = Vec::new();
+        while let Some(e) = heap.pop() {
+            out.push(e);
+        }
+        let mut expected: Vec<(Time, u32)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (Time::from_ns(*t), i as u32))
+            .collect();
+        expected.sort();
+        assert_eq!(out, expected);
+        assert!(heap.is_empty());
+    }
+
+    /// The sharded heap pops the same global order for every lane count —
+    /// the property that makes per-worker lanes compatible with the
+    /// determinism contract.
+    #[test]
+    fn sharded_heap_order_is_lane_count_independent() {
+        let events: Vec<(Time, u32)> = (0..64u32)
+            .map(|s| (Time::from_ns(((s * 37) % 19) as i64 * 10), s))
+            .collect();
+        let reference: Vec<(Time, u32)> = {
+            let mut h = ShardedEventHeap::new(1);
+            for &(t, s) in &events {
+                h.push(t, s);
+            }
+            std::iter::from_fn(move || h.pop_min()).collect()
+        };
+        let mut sorted = events.clone();
+        sorted.sort();
+        assert_eq!(reference, sorted);
+        for lanes in 2..=7 {
+            let mut h = ShardedEventHeap::new(lanes);
+            for &(t, s) in &events {
+                h.push(t, s);
+            }
+            assert_eq!(h.lanes(), lanes);
+            assert_eq!(h.len(), events.len());
+            let popped: Vec<(Time, u32)> = std::iter::from_fn(|| h.pop_min()).collect();
+            assert_eq!(popped, reference, "lanes = {lanes}");
+        }
+    }
+
+    /// The heart of the tentpole: the whole `ElasticSummary` — per-stream
+    /// summaries, aggregates and the ledger — is byte-identical for every
+    /// worker count, under both chainings, both admissions, and a tiny
+    /// ring that forces many rounds.
+    #[test]
+    fn worker_counts_are_byte_identical() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
+            for admission in [
+                Admission::Unbounded,
+                Admission::DropNewest { global_capacity: 3 },
+            ] {
+                for ring in [3usize, 256] {
+                    let config = ElasticConfig::live()
+                        .with_chaining(chaining)
+                        .with_ring_capacity(ring)
+                        .with_admission(admission);
+                    let (reference, _) = ElasticRunner::new(1, config).run(drivers(&s, &p, 12, 8));
+                    assert_eq!(reference.n_streams(), 12);
+                    assert!(reference.stats().processed > 0);
+                    for workers in 2..=4 {
+                        let (out, _) =
+                            ElasticRunner::new(workers, config).run(drivers(&s, &p, 12, 8));
+                        assert_eq!(
+                            out, reference,
+                            "workers={workers} ring={ring} {chaining:?} {admission:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Under `Admission::Unbounded`, each stream's result equals running
+    /// it alone through `StreamingRunner` + `Block` — modulo
+    /// `max_backlog`, which elastic observes at scheduler granularity
+    /// (see the module docs).
+    #[test]
+    fn unbounded_matches_streaming_runner_per_stream() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
+            let config = ElasticConfig::live()
+                .with_chaining(chaining)
+                .with_ring_capacity(4);
+            let (elastic, _) = ElasticRunner::new(3, config).run(drivers(&s, &p, 9, 10));
+            for (i, got) in elastic.per_stream().iter().enumerate() {
+                let runner = StreamingRunner::new(StreamConfig {
+                    chaining,
+                    capacity: 2,
+                    policy: OverloadPolicy::Block,
+                });
+                let want = runner.run(
+                    &mut Engine::new(
+                        &s,
+                        NumericManager::new(&s, &p),
+                        OverheadModel::new(Time::from_ns(2), Time::from_ns(1)),
+                    ),
+                    &mut source_mix(i, 10),
+                    &mut exec_for(&s, i as u64),
+                    &mut NullSink,
+                );
+                let mut got = *got;
+                let mut want = want;
+                got.stats.max_backlog = 0;
+                want.stats.max_backlog = 0;
+                assert_eq!(got, want, "stream {i} {chaining:?}");
+            }
+        }
+    }
+
+    /// Global shedding: overloaded fleets shed deterministically, the
+    /// ledger's books balance against the per-stream stats, and a stream
+    /// that keeps up is never shed even while the rest of the fleet
+    /// drowns.
+    #[test]
+    fn global_shed_ledger_balances_and_spares_prompt_streams() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let frames = 24;
+        // Streams 0..5 arrive at 4x the sustainable rate; stream 5 is
+        // periodic at a comfortable period.
+        let build = || -> Vec<(PatternSource, _)> {
+            (0..6)
+                .map(|i| {
+                    let src = if i < 5 {
+                        PatternSource::Periodic(Periodic::new(
+                            Time::from_ns(PERIOD.as_ns() / 4),
+                            frames,
+                        ))
+                    } else {
+                        PatternSource::Periodic(Periodic::new(
+                            Time::from_ns(PERIOD.as_ns() * 2),
+                            frames,
+                        ))
+                    };
+                    (
+                        src,
+                        EngineDriver::new(
+                            Engine::new(
+                                &s,
+                                NumericManager::new(&s, &p),
+                                OverheadModel::new(Time::from_ns(2), Time::from_ns(1)),
+                            ),
+                            exec_for(&s, i as u64),
+                            NullSink,
+                        ),
+                    )
+                })
+                .collect()
+        };
+        let config = ElasticConfig::live()
+            .with_admission(Admission::DropNewest { global_capacity: 4 })
+            .with_ring_capacity(8);
+        let (out, _) = ElasticRunner::new(1, config).run(build());
+        let ledger = *out.ledger();
+        assert_eq!(ledger.arrived, 6 * frames);
+        assert_eq!(ledger.admitted + ledger.shed, ledger.arrived);
+        assert!(ledger.shed > 0, "4x overload must shed: {ledger:?}");
+        assert!(ledger.peak_backlog <= 4, "capacity bound: {ledger:?}");
+        assert!(ledger.rounds > 1, "tiny ring forces many rounds");
+        assert_eq!(out.stats().arrived, ledger.arrived);
+        assert_eq!(out.stats().dropped, ledger.shed);
+        assert_eq!(out.stats().processed, ledger.admitted);
+        // The prompt stream is untouched by everyone else's overload.
+        let prompt = out.stream(5);
+        assert_eq!(prompt.stats.dropped, 0, "prompt stream never shed");
+        assert_eq!(prompt.stats.processed, frames);
+        // Deterministic across worker counts (also covered broadly by
+        // `worker_counts_are_byte_identical`).
+        let (again, _) = ElasticRunner::new(4, config).run(build());
+        assert_eq!(again, out);
+    }
+
+    /// A ring of capacity 1 degenerates to one cycle per round and still
+    /// produces the same per-stream results as a huge ring (admission
+    /// differs only under global capacity pressure, absent here). Only
+    /// `max_backlog` may differ — a bigger ring admits more arrivals
+    /// before a stream's cycle completes, so the observed high-water is
+    /// ring-granular (worker count, by contrast, never moves it).
+    #[test]
+    fn ring_capacity_does_not_change_unbounded_results() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let big = ElasticRunner::new(2, ElasticConfig::live().with_ring_capacity(1 << 12))
+            .run(drivers(&s, &p, 7, 6))
+            .0;
+        let tiny = ElasticRunner::new(2, ElasticConfig::live().with_ring_capacity(1))
+            .run(drivers(&s, &p, 7, 6))
+            .0;
+        let flatten = |summary: &ElasticSummary| -> Vec<StreamSummary> {
+            summary
+                .per_stream()
+                .iter()
+                .map(|s| {
+                    let mut s = *s;
+                    s.stats.max_backlog = 0;
+                    s
+                })
+                .collect()
+        };
+        assert_eq!(flatten(&big), flatten(&tiny));
+        assert!(tiny.ledger().rounds > big.ledger().rounds);
+    }
+
+    #[test]
+    fn empty_fleet_and_empty_sources_are_defaults() {
+        let runner = ElasticRunner::new(4, ElasticConfig::live());
+        type Dri<'a> =
+            EngineDriver<'a, NumericManager<'a, MixedPolicy<'a>>, ConstantExec<'a>, NullSink>;
+        let (out, drivers) = runner.run(Vec::<(Periodic, Dri<'_>)>::new());
+        let _ = drivers;
+        assert_eq!(out, ElasticSummary::default());
+
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let empty: Vec<(PatternSource, _)> = (0..3)
+            .map(|_| {
+                (
+                    PatternSource::Periodic(Periodic::new(PERIOD, 0)),
+                    EngineDriver::new(
+                        Engine::new(&s, NumericManager::new(&s, &p), OverheadModel::ZERO),
+                        ConstantExec::average(s.table()),
+                        NullSink,
+                    ),
+                )
+            })
+            .collect();
+        let (out, _) = runner.run(empty);
+        assert_eq!(out.n_streams(), 3);
+        assert_eq!(*out.run(), RunSummary::default());
+        assert_eq!(out.ledger().arrived, 0);
+    }
+}

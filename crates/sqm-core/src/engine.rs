@@ -176,7 +176,10 @@ pub struct CycleSummary {
 }
 
 impl CycleSummary {
-    fn new(cycle: usize, start: Time) -> CycleSummary {
+    /// An empty summary for cycle `cycle` starting (cycle-relative) at
+    /// `start`: no actions yet, `end == start`, quality extrema at their
+    /// fold identities.
+    pub fn new(cycle: usize, start: Time) -> CycleSummary {
         CycleSummary {
             cycle,
             start,

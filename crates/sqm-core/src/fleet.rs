@@ -19,12 +19,19 @@
 //!   payload (which system, which manager, which execution-time model)
 //!   plus the parameters every stream has (seed, cycle count).
 //! * [`FleetRunner`] — partitions a spec list over `N` OS threads via
-//!   [`std::thread::scope`] (no extra dependencies, no unsafe). Workers
-//!   pull the next un-run stream from a shared atomic cursor, so uneven
-//!   stream lengths balance automatically.
+//!   [`std::thread::scope`] (no extra dependencies, no unsafe). Large
+//!   fleets pull the next un-run stream from a shared
+//!   cacheline-padded atomic cursor, so uneven stream lengths balance
+//!   automatically; small fleets (≤ [`STATIC_SHARD_MAX_STREAMS`]) shard
+//!   statically round-robin instead — see the constant's docs for when
+//!   each wins. Both paths write results into per-stream slots by index,
+//!   so the choice never changes the output.
 //! * [`FleetSummary`] — per-stream [`RunSummary`]s in **submission order**
 //!   (deterministic regardless of thread scheduling) plus the
 //!   [`RunSummary::merge`]d aggregate.
+//!
+//! Per-cycle interleaving of *live* streams (arrival-ordered scheduling,
+//! global admission control) is the next layer up: [`crate::elastic`].
 //!
 //! Determinism: a stream's result depends only on its spec (the virtual
 //! platform is seeded, the engine is single-threaded), so the fleet's
@@ -38,8 +45,72 @@ use crate::source::ArrivalSpec;
 use crate::time::Time;
 use crate::trace::ActionRecord;
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Pads and aligns `T` to a 64-byte cache line so adjacent values never
+/// share one — the classic false-sharing fix for hot atomics that sit
+/// next to each other in a `Vec` (the fleet's work-pulling cursor, the
+/// elastic scheduler's per-worker ring cursors).
+///
+/// Dereferences to `T`, so call sites stay unchanged:
+///
+/// ```
+/// use sqm_core::fleet::CachePadded;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let cursor = CachePadded::new(AtomicUsize::new(0));
+/// assert_eq!(cursor.fetch_add(1, Ordering::Relaxed), 0);
+/// assert_eq!(std::mem::align_of_val(&cursor), 64);
+/// ```
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` in its own cache line.
+    pub fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Unwrap the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+/// Fleets with at most this many streams are sharded **statically**
+/// (worker `w` runs streams `w, w + N, w + 2N, …`); larger fleets pull
+/// from the shared atomic cursor.
+///
+/// Static sharding wins for small fleets: there is no cursor cache line
+/// to bounce between cores, and with few streams per worker the dynamic
+/// path's balancing cannot recoup that traffic — whichever worker drew
+/// the longest stream bounds the makespan either way. Dynamic pulling
+/// wins once fleets are deep enough that stream-length skew matters:
+/// a worker that finishes early takes over queued streams instead of
+/// idling. The crossover is workload-dependent; 32 is a conservative
+/// point where per-stream work still dominates scheduling cost. Both
+/// paths fill the same submission-order slots, so results are identical
+/// — only wall-clock changes.
+pub const STATIC_SHARD_MAX_STREAMS: usize = 32;
 
 /// One independent stream: a workload payload plus the run parameters
 /// every stream shares.
@@ -94,7 +165,12 @@ impl<W> StreamSpec<W> {
 /// [`RecordBuffer`](crate::engine::RecordBuffer) inside the drive closure
 /// to capture per-action records, or ignore it and stream into a
 /// [`NullSink`](crate::engine::NullSink).
+///
+/// Cacheline-aligned: each worker owns one, and the alignment keeps two
+/// workers' scratch headers (length/capacity words the hot record loop
+/// rewrites) from ever sharing a line.
 #[derive(Debug, Default)]
+#[repr(align(64))]
 pub struct StreamScratch {
     /// Reusable record storage for one stream's trace.
     pub records: Vec<ActionRecord>,
@@ -299,17 +375,30 @@ impl FleetRunner {
                 *slot = Some(drive(spec, &mut scratch));
             }
         } else {
-            let cursor = AtomicUsize::new(0);
+            // Small fleets shard statically (no shared cursor traffic);
+            // deep fleets pull dynamically so stream-length skew balances.
+            // See `STATIC_SHARD_MAX_STREAMS` for the trade-off; the padded
+            // cursor keeps the dynamic path's hot atomic off every other
+            // shared line.
+            let dynamic = specs.len() > STATIC_SHARD_MAX_STREAMS;
+            let cursor = CachePadded::new(AtomicUsize::new(0));
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
-                    .map(|_| {
+                    .map(|w| {
                         let cursor = &cursor;
                         let drive = &drive;
                         scope.spawn(move || {
                             let mut scratch = StreamScratch::default();
                             let mut local = Vec::new();
+                            let mut next_static = w;
                             loop {
-                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let i = if dynamic {
+                                    cursor.fetch_add(1, Ordering::Relaxed)
+                                } else {
+                                    let i = next_static;
+                                    next_static += workers;
+                                    i
+                                };
                                 let Some(spec) = specs.get(i) else {
                                     break Ok(local);
                                 };
@@ -417,6 +506,22 @@ mod tests {
         let serial = FleetRunner::new(1).run(&specs, |spec, scratch| drive(&s, &p, spec, scratch));
         assert_eq!(serial.n_streams(), 9);
         for workers in 2..=8 {
+            let fleet =
+                FleetRunner::new(workers).run(&specs, |spec, scratch| drive(&s, &p, spec, scratch));
+            assert_eq!(serial, fleet, "workers = {workers}");
+        }
+    }
+
+    /// A fleet deep enough for the dynamic (cursor-pulling) path produces
+    /// the same submission-order results as the serial reference — the
+    /// static/dynamic shard choice is invisible in the output.
+    #[test]
+    fn dynamic_path_agrees_with_serial_beyond_the_static_bound() {
+        let s = sys();
+        let p = MixedPolicy::new(&s);
+        let specs = specs(STATIC_SHARD_MAX_STREAMS + 7);
+        let serial = FleetRunner::new(1).run(&specs, |spec, scratch| drive(&s, &p, spec, scratch));
+        for workers in 2..=4 {
             let fleet =
                 FleetRunner::new(workers).run(&specs, |spec, scratch| drive(&s, &p, spec, scratch));
             assert_eq!(serial, fleet, "workers = {workers}");

@@ -52,6 +52,15 @@
 //!    periodic source under the `Block` policy — byte-identical to
 //!    [`engine::Engine::run_cycles`] for both [`engine::CycleChaining`]
 //!    variants.
+//! 10. **Elastic fleet** — [`elastic`]: per-cycle scheduling of very many
+//!     *live* streams onto few workers. A serial deterministic event loop
+//!     over sharded arrival heaps ([`elastic::ShardedEventHeap`]) and a
+//!     start-event heap admits or sheds frames fleet-wide
+//!     ([`elastic::Admission`], [`elastic::ShedLedger`]) and fills a
+//!     fixed-capacity ready ring; workers drain the ring with
+//!     deterministic stealing. Results are byte-identical for every
+//!     worker count, and per-stream identical to [`stream`]'s runner
+//!     under unbounded admission.
 //!
 //! The engine seam — how 6–8 fit together: a
 //! [`manager::QualityManager`] makes the decisions, an
@@ -73,6 +82,7 @@ pub mod analysis;
 pub mod approx;
 pub mod compiler;
 pub mod controller;
+pub mod elastic;
 pub mod engine;
 pub mod error;
 pub mod fleet;
@@ -104,11 +114,17 @@ pub mod prelude {
     pub use crate::controller::{
         ConstantExec, CycleRunner, CyclicRunner, ExecutionTimeSource, FnExec, OverheadModel,
     };
+    pub use crate::elastic::{
+        Admission, CycleDriver, ElasticConfig, ElasticRunner, ElasticSummary, EngineDriver,
+        EventHeap, ShardedEventHeap, ShedLedger,
+    };
     pub use crate::engine::{
         CycleChaining, CycleSummary, Engine, NullSink, RecordBuffer, RunSummary, TraceSink,
     };
     pub use crate::error::{BuildError, ParseError};
-    pub use crate::fleet::{FleetRunner, FleetSummary, StreamScratch, StreamSpec};
+    pub use crate::fleet::{
+        CachePadded, FleetRunner, FleetSummary, StreamScratch, StreamSpec, STATIC_SHARD_MAX_STREAMS,
+    };
     pub use crate::manager::{
         Decision, HotLookupManager, HotRelaxedManager, LookupManager, NumericManager,
         QualityManager, RelaxedManager, SmoothedManager,
@@ -123,7 +139,7 @@ pub mod prelude {
     };
     pub use crate::speed::SpeedDiagram;
     pub use crate::stream::{
-        OverloadPolicy, StreamConfig, StreamStats, StreamSummary, StreamingRunner,
+        OverloadPolicy, StreamConfig, StreamCursor, StreamStats, StreamSummary, StreamingRunner,
     };
     pub use crate::system::{ParameterizedSystem, SystemBuilder};
     pub use crate::time::Time;

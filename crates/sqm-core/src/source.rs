@@ -46,11 +46,27 @@ pub trait ArrivalSource {
     /// Arrival time of the next frame on the run's absolute time line, or
     /// `None` when the stream has ended.
     fn next_arrival(&mut self) -> Option<Time>;
+
+    /// Arrival time of the next frame *without consuming it*: the next
+    /// [`ArrivalSource::next_arrival`] call returns exactly this value.
+    ///
+    /// Schedulers use `peek` to key event heaps by each stream's next
+    /// virtual arrival before committing to admit the frame
+    /// ([`crate::elastic`]); `peek` must therefore be side-effect-free as
+    /// observed through `next_arrival` — peek-then-next ≡ next, for every
+    /// source kind and seed (pinned by proptest in `tests/sources.rs`).
+    /// Sources that draw randomness materialize the pending timestamp on
+    /// first peek and hand the *same* value to the consuming call.
+    fn peek(&mut self) -> Option<Time>;
 }
 
 impl<A: ArrivalSource + ?Sized> ArrivalSource for &mut A {
     fn next_arrival(&mut self) -> Option<Time> {
         (**self).next_arrival()
+    }
+
+    fn peek(&mut self) -> Option<Time> {
+        (**self).peek()
     }
 }
 
@@ -83,6 +99,13 @@ impl ArrivalSource for Periodic {
         self.next += 1;
         Some(t)
     }
+
+    fn peek(&mut self) -> Option<Time> {
+        if self.next == self.frames {
+            return None;
+        }
+        Some(self.period.saturating_mul(self.next as i64))
+    }
 }
 
 /// Periodic arrivals with bounded uniform jitter: frame `c` arrives at
@@ -95,6 +118,9 @@ pub struct Jittered {
     frames: usize,
     next: usize,
     floor: Time,
+    // Timestamp already drawn by `peek` and not yet consumed — the RNG
+    // advances exactly once per frame no matter how the draw is observed.
+    pending: Option<Time>,
     rng: StdRng,
 }
 
@@ -108,13 +134,12 @@ impl Jittered {
             frames,
             next: 0,
             floor: Time::ZERO,
+            pending: None,
             rng: StdRng::seed_from_u64(seed),
         }
     }
-}
 
-impl ArrivalSource for Jittered {
-    fn next_arrival(&mut self) -> Option<Time> {
+    fn draw(&mut self) -> Option<Time> {
         if self.next == self.frames {
             return None;
         }
@@ -125,6 +150,22 @@ impl ArrivalSource for Jittered {
         self.floor = t;
         self.next += 1;
         Some(t)
+    }
+}
+
+impl ArrivalSource for Jittered {
+    fn next_arrival(&mut self) -> Option<Time> {
+        match self.pending.take() {
+            Some(t) => Some(t),
+            None => self.draw(),
+        }
+    }
+
+    fn peek(&mut self) -> Option<Time> {
+        if self.pending.is_none() {
+            self.pending = self.draw();
+        }
+        self.pending
     }
 }
 
@@ -142,6 +183,8 @@ pub struct Bursty {
     burst_left: usize,
     burst_time: Time,
     next_time: Time,
+    // Timestamp already drawn by `peek` and not yet consumed.
+    pending: Option<Time>,
     rng: StdRng,
 }
 
@@ -157,13 +200,12 @@ impl Bursty {
             burst_left: 0,
             burst_time: Time::ZERO,
             next_time: Time::ZERO,
+            pending: None,
             rng: StdRng::seed_from_u64(seed),
         }
     }
-}
 
-impl ArrivalSource for Bursty {
-    fn next_arrival(&mut self) -> Option<Time> {
+    fn draw(&mut self) -> Option<Time> {
         if self.emitted == self.frames {
             return None;
         }
@@ -176,6 +218,22 @@ impl ArrivalSource for Bursty {
         self.burst_left -= 1;
         self.emitted += 1;
         Some(self.burst_time)
+    }
+}
+
+impl ArrivalSource for Bursty {
+    fn next_arrival(&mut self) -> Option<Time> {
+        match self.pending.take() {
+            Some(t) => Some(t),
+            None => self.draw(),
+        }
+    }
+
+    fn peek(&mut self) -> Option<Time> {
+        if self.pending.is_none() {
+            self.pending = self.draw();
+        }
+        self.pending
     }
 }
 
@@ -206,15 +264,43 @@ impl ArrivalSource for TraceReplay {
         self.next += 1;
         Some(t)
     }
+
+    fn peek(&mut self) -> Option<Time> {
+        self.times.get(self.next).copied()
+    }
 }
 
 /// Closure-backed source for tests and ad-hoc feeds. The closure's
 /// timestamps must be non-decreasing.
-pub struct FnSource<F>(pub F);
+///
+/// Peeking calls the closure at most once per frame and buffers the
+/// result, so the closure still observes exactly one call per yielded
+/// timestamp.
+pub struct FnSource<F> {
+    f: F,
+    pending: Option<Time>,
+}
+
+impl<F: FnMut() -> Option<Time>> FnSource<F> {
+    /// A source yielding whatever `f` returns.
+    pub fn new(f: F) -> FnSource<F> {
+        FnSource { f, pending: None }
+    }
+}
 
 impl<F: FnMut() -> Option<Time>> ArrivalSource for FnSource<F> {
     fn next_arrival(&mut self) -> Option<Time> {
-        (self.0)()
+        match self.pending.take() {
+            Some(t) => Some(t),
+            None => (self.f)(),
+        }
+    }
+
+    fn peek(&mut self) -> Option<Time> {
+        if self.pending.is_none() {
+            self.pending = (self.f)();
+        }
+        self.pending
     }
 }
 
@@ -295,6 +381,14 @@ impl ArrivalSource for PatternSource {
             PatternSource::Periodic(s) => s.next_arrival(),
             PatternSource::Jittered(s) => s.next_arrival(),
             PatternSource::Bursty(s) => s.next_arrival(),
+        }
+    }
+
+    fn peek(&mut self) -> Option<Time> {
+        match self {
+            PatternSource::Periodic(s) => s.peek(),
+            PatternSource::Jittered(s) => s.peek(),
+            PatternSource::Bursty(s) => s.peek(),
         }
     }
 }
@@ -422,7 +516,56 @@ mod tests {
     #[test]
     fn fn_source_yields_closure_values() {
         let mut v = vec![Time::from_ns(10), Time::ZERO].into_iter();
-        let times = drain(FnSource(move || v.next()));
+        let times = drain(FnSource::new(move || v.next()));
         assert_eq!(times, vec![Time::from_ns(10), Time::ZERO]);
+    }
+
+    /// Interleaving peeks (including repeated ones) with consuming calls
+    /// never changes what the consuming calls see, for every source kind.
+    #[test]
+    fn peek_is_transparent_for_every_kind() {
+        let period = Time::from_ns(100);
+        fn peeky<A: ArrivalSource>(mut src: A) -> Vec<Time> {
+            let mut out = Vec::new();
+            loop {
+                let p = src.peek();
+                assert_eq!(src.peek(), p, "peek is idempotent");
+                let t = src.next_arrival();
+                assert_eq!(t, p, "peek-then-next = next");
+                match t {
+                    Some(t) => out.push(t),
+                    None => break out,
+                }
+            }
+        }
+        assert_eq!(
+            peeky(Periodic::new(period, 8)),
+            drain(Periodic::new(period, 8)),
+        );
+        assert_eq!(
+            peeky(Jittered::new(period, Time::from_ns(30), 32, 7)),
+            drain(Jittered::new(period, Time::from_ns(30), 32, 7)),
+        );
+        assert_eq!(
+            peeky(Bursty::new(period, 4, 32, 3)),
+            drain(Bursty::new(period, 4, 32, 3)),
+        );
+        assert_eq!(
+            peeky(TraceReplay::new(vec![Time::ZERO, Time::from_ns(20)])),
+            vec![Time::ZERO, Time::from_ns(20)],
+        );
+        let mut v = vec![Time::from_ns(10), Time::from_ns(40)].into_iter();
+        assert_eq!(
+            peeky(FnSource::new(move || v.next())),
+            vec![Time::from_ns(10), Time::from_ns(40)],
+        );
+        assert_eq!(
+            peeky(
+                ArrivalSpec::Bursty { max_burst: 3 }
+                    .build(period, 16, 5)
+                    .unwrap()
+            ),
+            drain(Bursty::new(period, 3, 16, 5)),
+        );
     }
 }

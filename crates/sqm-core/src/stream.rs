@@ -192,6 +192,115 @@ pub struct StreamSummary {
     pub stats: StreamStats,
 }
 
+/// Per-stream execution state for anchoring cycles at arrivals — the
+/// reusable core of [`StreamingRunner`]'s pull loop, factored out so
+/// schedulers that interleave *many* streams ([`crate::elastic`]) can
+/// advance one stream a single cycle at a time and still be byte-identical
+/// to the per-stream runner.
+///
+/// A cursor owns exactly the state the time model in the module docs
+/// needs: the stream's absolute clock (`now` = completion time of the last
+/// executed frame), the accumulating [`RunSummary`] and the
+/// [`StreamStats`]. The caller supplies arrivals and runs the engine; the
+/// cursor answers "when does the next frame start" ([`StreamCursor::
+/// start_for`]) and folds each executed cycle back in
+/// ([`StreamCursor::absorb`]).
+///
+/// # Examples
+///
+/// Drive one cycle by hand — arrival at 100 ns, engine produces a cycle
+/// summary, and the cursor advances its clock to arrival + relative end:
+///
+/// ```
+/// use sqm_core::engine::{CycleChaining, CycleSummary};
+/// use sqm_core::stream::StreamCursor;
+/// use sqm_core::time::Time;
+///
+/// let mut cursor = StreamCursor::new();
+/// let arrival = Time::from_ns(100);
+/// let start = cursor.start_for(CycleChaining::ArrivalClamped, arrival);
+/// assert_eq!(start, arrival, "idle stream starts at the arrival");
+/// // ... run the engine with start - arrival, obtaining a CycleSummary ...
+/// # let mut summary = CycleSummary::new(0, start - arrival);
+/// # summary.end = Time::from_ns(40);
+/// cursor.absorb(arrival, start, &summary);
+/// assert_eq!(cursor.now(), Time::from_ns(140));
+/// assert_eq!(cursor.summary().stats.processed, 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamCursor {
+    now: Time,
+    summary: StreamSummary,
+}
+
+impl StreamCursor {
+    /// A fresh stream: clock at zero, empty aggregates.
+    pub fn new() -> StreamCursor {
+        StreamCursor::default()
+    }
+
+    /// The stream's absolute clock: completion time of the last executed
+    /// frame ([`Time::ZERO`] before any frame ran).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Absolute start time of a frame with arrival `arrival` executed
+    /// next: `max(now, arrival)` under live capture
+    /// ([`CycleChaining::ArrivalClamped`]), `now` under work-conserving
+    /// prefetch (the frame may start before it arrives).
+    pub fn start_for(&self, chaining: CycleChaining, arrival: Time) -> Time {
+        match chaining {
+            CycleChaining::ArrivalClamped => self.now.max(arrival),
+            CycleChaining::WorkConserving => self.now,
+        }
+    }
+
+    /// Record one frame delivered by the source.
+    pub fn note_arrival(&mut self) {
+        self.summary.stats.arrived += 1;
+    }
+
+    /// Record one frame shed by an overload/admission policy.
+    pub fn note_drop(&mut self) {
+        self.note_drops(1);
+    }
+
+    /// Record `n` frames shed at once (queue-clearing policies).
+    pub fn note_drops(&mut self, n: usize) {
+        self.summary.stats.dropped += n;
+    }
+
+    /// Record an observed waiting-queue depth (frame in service not
+    /// counted); the stats keep the high-water mark.
+    pub fn note_backlog(&mut self, depth: usize) {
+        self.summary.stats.max_backlog = self.summary.stats.max_backlog.max(depth);
+    }
+
+    /// Fold one executed cycle into the stream: advance the clock to
+    /// `arrival + cycle.end` (the cycle's end is arrival-relative) and
+    /// accumulate the run and wait/latency aggregates. `start_abs` must be
+    /// the value [`StreamCursor::start_for`] returned for this frame.
+    pub fn absorb(&mut self, arrival: Time, start_abs: Time, cycle: &crate::engine::CycleSummary) {
+        self.summary.run.absorb(cycle);
+        self.now = arrival + cycle.end;
+        let s = &mut self.summary.stats;
+        s.processed += 1;
+        let wait = (start_abs - arrival).max(Time::ZERO);
+        s.total_wait += wait;
+        s.max_wait = s.max_wait.max(wait);
+        let latency = (self.now - arrival).max(Time::ZERO);
+        s.total_latency += latency;
+        s.max_latency = s.max_latency.max(latency);
+        s.makespan = s.makespan.max(self.now);
+    }
+
+    /// The accumulated [`StreamSummary`] so far.
+    pub fn summary(&self) -> StreamSummary {
+        self.summary
+    }
+}
+
 /// Pulls cycles from an [`ArrivalSource`] onto an [`Engine`].
 ///
 /// The runner owns only its [`StreamConfig`]; manager state lives in the
@@ -274,14 +383,12 @@ impl StreamingRunner {
         let capacity = capacity.max(1);
         let live = chaining == CycleChaining::ArrivalClamped;
 
-        let mut out = StreamSummary::default();
+        let mut cursor = StreamCursor::new();
         // Waiting frames as (index, arrival); the frame in service has
         // already been popped. Reused across the whole run.
         let mut queue: VecDeque<(usize, Time)> = VecDeque::new();
         let mut next_index = 0usize;
         let mut last_arrival = Time::ZERO;
-        // The engine's absolute clock: completion time of the last frame.
-        let mut now = Time::ZERO;
 
         // Pull one arrival, enforcing the non-decreasing contract.
         let pull = |src: &mut A, idx: &mut usize, floor: &mut Time| -> Option<(usize, Time)> {
@@ -294,7 +401,7 @@ impl StreamingRunner {
 
         let mut pending = pull(source, &mut next_index, &mut last_arrival);
         if pending.is_some() {
-            out.stats.arrived += 1;
+            cursor.note_arrival();
         }
 
         loop {
@@ -306,7 +413,7 @@ impl StreamingRunner {
                     Some(f) => {
                         pending = pull(source, &mut next_index, &mut last_arrival);
                         if pending.is_some() {
-                            out.stats.arrived += 1;
+                            cursor.note_arrival();
                         }
                         f
                     }
@@ -314,37 +421,27 @@ impl StreamingRunner {
                 },
             };
 
-            let start_abs = if live { now.max(arrival) } else { now };
+            let start_abs = cursor.start_for(chaining, arrival);
             let summary = engine.run_cycle(frame, start_abs - arrival, exec, sink);
-            out.run.absorb(&summary);
-            now = arrival + summary.end;
-
-            out.stats.processed += 1;
-            let wait = (start_abs - arrival).max(Time::ZERO);
-            out.stats.total_wait += wait;
-            out.stats.max_wait = out.stats.max_wait.max(wait);
-            let latency = (now - arrival).max(Time::ZERO);
-            out.stats.total_latency += latency;
-            out.stats.max_latency = out.stats.max_latency.max(latency);
-            out.stats.makespan = out.stats.makespan.max(now);
+            cursor.absorb(arrival, start_abs, &summary);
 
             // Admit everything that arrived while this frame executed.
             // Pops only happen between frames, so the queue state seen
             // here is exactly the state at each arrival instant.
             while let Some((i, a)) = pending {
-                if a > now {
+                if a > cursor.now() {
                     break;
                 }
                 pending = pull(source, &mut next_index, &mut last_arrival);
                 if pending.is_some() {
-                    out.stats.arrived += 1;
+                    cursor.note_arrival();
                 }
                 if live && queue.len() == capacity {
                     match policy {
                         OverloadPolicy::Block => queue.push_back((i, a)),
-                        OverloadPolicy::DropNewest => out.stats.dropped += 1,
+                        OverloadPolicy::DropNewest => cursor.note_drop(),
                         OverloadPolicy::SkipToLatest => {
-                            out.stats.dropped += queue.len();
+                            cursor.note_drops(queue.len());
                             queue.clear();
                             queue.push_back((i, a));
                         }
@@ -352,10 +449,10 @@ impl StreamingRunner {
                 } else {
                     queue.push_back((i, a));
                 }
-                out.stats.max_backlog = out.stats.max_backlog.max(queue.len());
+                cursor.note_backlog(queue.len());
             }
         }
-        out
+        cursor.summary()
     }
 }
 
@@ -572,7 +669,7 @@ mod tests {
         let mut v = vec![Time::from_ns(500), Time::from_ns(100)].into_iter();
         let out = StreamingRunner::new(StreamConfig::live(4, OverloadPolicy::Block)).run(
             &mut engine(&s, &p),
-            &mut FnSource(move || v.next()),
+            &mut FnSource::new(move || v.next()),
             &mut ConstantExec::average(s.table()),
             &mut NullSink,
         );

@@ -17,6 +17,11 @@
 //! * [`fleet`] (also `core::fleet`) — sharded multi-stream execution:
 //!   many independent engine streams distributed over scoped OS threads,
 //!   merged deterministically into per-stream and aggregate summaries.
+//! * [`elastic`] (also `core::elastic`) — per-cycle elastic scheduling of
+//!   very many *live* streams onto few workers: sharded arrival event
+//!   heaps, a fixed-capacity ready ring, deterministic work stealing, and
+//!   fleet-wide admission control via a shared shed ledger. Byte-identical
+//!   results for every worker count.
 //! * [`source`] + [`stream`] (also `core::source` / `core::stream`) — the
 //!   event-driven front-end: arrival sources (periodic, jittered, bursty,
 //!   recorded-trace replay) feeding the engine through a bounded backlog
@@ -65,9 +70,11 @@
 //! (unre-exported) `sqm-bench` crate; `cargo run -p sqm-bench --release
 //! --bin bench_baseline` emits the workspace's performance baseline,
 //! `… --bin bench_fleet` the multi-stream scaling point,
-//! `… --bin bench_stream` the live-traffic backlog/latency point and
+//! `… --bin bench_stream` the live-traffic backlog/latency point,
 //! `… --bin bench_hotpath` the decision-core fast-path point (naive scan
-//! vs incremental search, byte-identical in virtual time) next to them.
+//! vs incremental search, byte-identical in virtual time) and
+//! `… --bin bench_elastic` the elastic-scheduler stress point (10⁵ live
+//! streams, streams/sec and ns/action versus worker count) next to them.
 //!
 //! ## Quickstart
 //!
@@ -161,6 +168,7 @@
 
 pub use sqm_audio as audio;
 pub use sqm_core as core;
+pub use sqm_core::elastic;
 pub use sqm_core::fleet;
 pub use sqm_core::source;
 pub use sqm_core::stream;

@@ -37,7 +37,10 @@ fn mpeg_tiny() -> PaperExperiment {
 /// The parameterized core of the suite: all four execution paths produce
 /// the same `RunSummary` for workload `w`, under both chaining variants;
 /// the two chaining variants themselves must differ (the knob is live).
-fn assert_conformance<W: Workload + Sync>(w: &W) {
+fn assert_conformance<W: Workload + Sync>(w: &W)
+where
+    for<'a> W::Exec<'a>: Send,
+{
     let mut per_chaining = Vec::new();
     for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
         let label = w.label();
@@ -129,6 +132,63 @@ fn assert_conformance<W: Workload + Sync>(w: &W) {
             assert_eq!(
                 a.records, b.records,
                 "{label} {chaining:?}: hot trace != serial trace"
+            );
+        }
+
+        // Path 6 — the elastic scheduler: per-cycle interleaving of many
+        // live streams must reproduce the per-stream streaming fold under
+        // unbounded admission (modulo the scheduler-granular
+        // `max_backlog`, which is zeroed on both sides), byte-identically
+        // for every worker count.
+        let elastic_streams = || -> Vec<_> {
+            (0..3u64)
+                .map(|i| {
+                    (
+                        Periodic::new(w.period(), CYCLES),
+                        EngineDriver::new(
+                            Engine::new(w.system(), LookupManager::new(w.regions()), w.overhead()),
+                            w.exec_source(JITTER, SEED + i),
+                            NullSink,
+                        ),
+                    )
+                })
+                .collect()
+        };
+        let serial_streams: Vec<StreamSummary> = (0..3u64)
+            .map(|i| {
+                let mut s = w.run_streaming(
+                    config,
+                    &mut Periodic::new(w.period(), CYCLES),
+                    JITTER,
+                    SEED + i,
+                    &mut NullSink,
+                );
+                s.stats.max_backlog = 0;
+                s
+            })
+            .collect();
+        let elastic_config = ElasticConfig::live()
+            .with_chaining(chaining)
+            .with_ring_capacity(2);
+        let (elastic_one, _) = ElasticRunner::new(1, elastic_config).run(elastic_streams());
+        let flattened: Vec<StreamSummary> = elastic_one
+            .per_stream()
+            .iter()
+            .map(|s| {
+                let mut s = *s;
+                s.stats.max_backlog = 0;
+                s
+            })
+            .collect();
+        assert_eq!(
+            flattened, serial_streams,
+            "{label} {chaining:?}: elastic(1) != per-stream streaming fold"
+        );
+        for workers in 2..=3 {
+            let (elastic_n, _) = ElasticRunner::new(workers, elastic_config).run(elastic_streams());
+            assert_eq!(
+                elastic_n, elastic_one,
+                "{label} {chaining:?}: elastic({workers}) != elastic(1)"
             );
         }
 
@@ -267,6 +327,72 @@ proptest! {
             }
             prop_assert_eq!(out.stats.processed, cycles);
             prop_assert_eq!(out.stats.dropped, 0);
+        }
+    }
+
+    /// The elastic scheduler over *arbitrary* feasible systems: for any
+    /// worker count the full summary equals the 1-worker run byte for
+    /// byte, and the 1-worker run reproduces the per-stream streaming
+    /// fold under unbounded admission (modulo scheduler-granular
+    /// `max_backlog`).
+    #[test]
+    fn elastic_agrees_on_arbitrary_systems(
+        arb in arb_system(),
+        cycles in 1usize..5,
+        workers in 1usize..=8,
+    ) {
+        let sys = &arb.system;
+        let policy = MixedPolicy::new(sys);
+        let period = sys.final_deadline();
+        for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
+            let streams = || -> Vec<_> {
+                (0..4)
+                    .map(|_| {
+                        (
+                            Periodic::new(period, cycles),
+                            EngineDriver::new(
+                                Engine::new(sys, NumericManager::new(sys, &policy), OVERHEAD),
+                                cycle_fraction_exec(sys, &arb.fractions),
+                                NullSink,
+                            ),
+                        )
+                    })
+                    .collect()
+            };
+            let config = ElasticConfig::live()
+                .with_chaining(chaining)
+                .with_ring_capacity(3);
+            let (one, _) = ElasticRunner::new(1, config).run(streams());
+            let (many, _) = ElasticRunner::new(workers, config).run(streams());
+            prop_assert_eq!(&many, &one, "workers = {} {:?}", workers, chaining);
+
+            let serial: Vec<StreamSummary> = (0..4)
+                .map(|_| {
+                    let mut s = StreamingRunner::new(StreamConfig {
+                        chaining,
+                        capacity: 3,
+                        policy: OverloadPolicy::Block,
+                    })
+                    .run(
+                        &mut Engine::new(sys, NumericManager::new(sys, &policy), OVERHEAD),
+                        &mut Periodic::new(period, cycles),
+                        &mut cycle_fraction_exec(sys, &arb.fractions),
+                        &mut NullSink,
+                    );
+                    s.stats.max_backlog = 0;
+                    s
+                })
+                .collect();
+            let flattened: Vec<StreamSummary> = one
+                .per_stream()
+                .iter()
+                .map(|s| {
+                    let mut s = *s;
+                    s.stats.max_backlog = 0;
+                    s
+                })
+                .collect();
+            prop_assert_eq!(&flattened, &serial, "{:?}", chaining);
         }
     }
 }

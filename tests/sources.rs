@@ -10,7 +10,10 @@
 //!   byte-identical results for every worker count and across repeated
 //!   runs;
 //! * recording a source and replaying it through [`TraceReplay`]
-//!   reproduces the live run exactly.
+//!   reproduces the live run exactly;
+//! * [`ArrivalSource::peek`] is **transparent**: peeking never changes the
+//!   sequence `next_arrival` yields — the contract the elastic
+//!   scheduler's event heaps are keyed on.
 //!
 //! (Folded out of `tests/streaming.rs`, which now owns only overload
 //! behaviour; cross-path identities live in `tests/conformance.rs`.)
@@ -27,6 +30,24 @@ fn drain<A: ArrivalSource>(mut src: A) -> Vec<Time> {
         out.push(t);
     }
     out
+}
+
+/// Drain `src` while peeking (possibly several times) before every
+/// consumption, checking peek-then-next ≡ next at each step.
+fn drain_peeking<A: ArrivalSource>(mut src: A, peeks: usize) -> Vec<Time> {
+    let mut out = Vec::new();
+    loop {
+        let peeked = src.peek();
+        for _ in 1..peeks {
+            assert_eq!(src.peek(), peeked, "peek is idempotent");
+        }
+        let next = src.next_arrival();
+        assert_eq!(peeked, next, "peek-then-next yields the peeked value");
+        match next {
+            Some(t) => out.push(t),
+            None => return out,
+        }
+    }
 }
 
 proptest! {
@@ -174,6 +195,53 @@ proptest! {
         for workers in 1..=4 {
             let fleet = FleetRunner::new(workers).run(&specs, drive);
             prop_assert_eq!(&fleet, &reference, "workers = {}", workers);
+        }
+    }
+
+    /// `peek` is transparent for every source kind, period, seed and
+    /// frame count: a drain that peeks (once or repeatedly) before every
+    /// `next_arrival` yields exactly the sequence a plain drain yields.
+    /// RNG-backed sources materialize their pending draw on first peek —
+    /// this pins that buffering to be invisible.
+    #[test]
+    fn peek_is_transparent_for_every_source_kind(
+        period_ns in 1i64..5_000,
+        jitter_pct in 0u8..=100,
+        max_burst in 1u8..9,
+        frames in 0usize..48,
+        seed in 0u64..1_000,
+        peeks in 1usize..4,
+    ) {
+        let period = Time::from_ns(period_ns);
+        let jitter = Time::from_ns(period_ns * jitter_pct as i64 / 100);
+
+        prop_assert_eq!(
+            drain_peeking(Periodic::new(period, frames), peeks),
+            drain(Periodic::new(period, frames))
+        );
+        prop_assert_eq!(
+            drain_peeking(Jittered::new(period, jitter, frames, seed), peeks),
+            drain(Jittered::new(period, jitter, frames, seed))
+        );
+        prop_assert_eq!(
+            drain_peeking(Bursty::new(period, max_burst as usize, frames, seed), peeks),
+            drain(Bursty::new(period, max_burst as usize, frames, seed))
+        );
+        let times = drain(Jittered::new(period, jitter, frames, seed));
+        prop_assert_eq!(
+            drain_peeking(TraceReplay::new(times.clone()), peeks),
+            times
+        );
+        for spec in [
+            ArrivalSpec::Periodic,
+            ArrivalSpec::Jittered { jitter_pct },
+            ArrivalSpec::Bursty { max_burst },
+        ] {
+            prop_assert_eq!(
+                drain_peeking(spec.build(period, frames, seed).unwrap(), peeks),
+                drain(spec.build(period, frames, seed).unwrap()),
+                "{:?}", spec
+            );
         }
     }
 

@@ -37,6 +37,11 @@ impl<A: ArrivalSource> ArrivalSource for Counting<A> {
         }
         t
     }
+
+    fn peek(&mut self) -> Option<Time> {
+        // Peeking is not consumption: only `next_arrival` counts.
+        self.inner.peek()
+    }
 }
 
 proptest! {
