@@ -1,0 +1,1150 @@
+//! Differential fuzzing + fault-injection campaign.
+//!
+//! Hand-written proptests cover each execution path against a reference,
+//! one pairing at a time; this module covers the *product space* —
+//! arbitrary systems × fault/drift scenarios × every execution path
+//! (serial naive, hot, streaming, fleet, elastic) — against one
+//! four-part **safety oracle**:
+//!
+//! 1. **Identity** — the fast paths are byte-identical to the naive
+//!    serial reference: hot managers (traces included), Periodic+Block
+//!    streaming, every fleet worker count, every elastic worker count,
+//!    and the elastic per-stream fold, all under the injected fault.
+//! 2. **Safety** — with zero manager overhead, an unquantized clock and
+//!    a period equal to the final deadline, a run whose execution times
+//!    honour the compiled contract (`C ≤ Cwc`, checked live by a
+//!    monitor) has **zero** deadline misses and **zero** infeasible
+//!    decisions. This is the mixed policy's `CD ≥ C` induction made
+//!    executable; a miss here is a compiler or manager bug, not bad
+//!    luck. Contract-violating faults are exempt only once the monitor
+//!    has actually witnessed a violation.
+//! 3. **Accounting** — overload bookkeeping balances exactly:
+//!    `arrived = processed + dropped` for the streaming runner under
+//!    any source/policy, and `arrived = admitted + shed` (consistently
+//!    mirrored in the merged stats) for the elastic scheduler under
+//!    global admission pressure.
+//! 4. **Monotonicity** — region tables are monotone in `t`, deadline
+//!    relaxation (`shifted(+δ)`) never lowers a choice, and the
+//!    relaxed manager inherits property 2 wholesale.
+//!
+//! A **case** is one system × scenario × path invocation; [`run_case`]
+//! runs all paths for one generated pair and returns how many it
+//! executed. [`run_campaign`] sweeps seeds and, on the first oracle
+//! violation, greedily [`minimize`]s the failing case and renders a
+//! self-contained repro with [`format_repro`] — paste the printed
+//! `FuzzCase` literal (or replay its seed) to reproduce.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqm_core::action::ActionId;
+use sqm_core::compiler::{compile_regions, compile_relaxation};
+use sqm_core::controller::{ConstantExec, ExecutionTimeSource, OverheadModel};
+use sqm_core::elastic::{Admission, ElasticConfig, ElasticRunner, EngineDriver};
+use sqm_core::engine::{CycleChaining, Engine, NullSink};
+use sqm_core::fleet::{FleetRunner, FleetSummary, StreamSpec};
+use sqm_core::manager::{HotLookupManager, LookupManager, QualityManager, RelaxedManager};
+use sqm_core::quality::Quality;
+use sqm_core::regions::QualityRegionTable;
+use sqm_core::relaxation::StepSet;
+use sqm_core::source::{ArrivalSource, Bursty, Jittered, Periodic};
+use sqm_core::stream::{OverloadPolicy, StreamConfig, StreamSummary, StreamingRunner};
+use sqm_core::system::{ParameterizedSystem, SystemBuilder};
+use sqm_core::time::Time;
+use sqm_core::timing::TimeTable;
+use sqm_core::trace::Trace;
+use sqm_platform::clock::RtClock;
+use sqm_platform::exec::{StochasticExec, ViolatingExec};
+use sqm_platform::faults::{ClockRounding, ClockedManager, DriftExec, PreemptionExec};
+use sqm_platform::load::{ConstantLoad, RandomWalkLoad};
+
+/// Manager overhead charged on the identity paths (the same calibration
+/// the conformance suite uses); the safety oracle runs at
+/// [`OverheadModel::ZERO`] where the paper's guarantee is exact.
+const OVERHEAD: OverheadModel = OverheadModel::new(Time::from_ns(2), Time::from_ns(1));
+
+/// A generated parameterized system, kept in primitive form so failing
+/// cases print as a paste-able literal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SystemSpec {
+    /// Quality levels per action.
+    pub n_quality: usize,
+    /// Worst-case rows, `wc[action][quality]`, nanoseconds.
+    pub wc: Vec<Vec<i64>>,
+    /// Average rows, same shape; `av ≤ wc` pointwise.
+    pub av: Vec<Vec<i64>>,
+    /// Final deadline = `Σ wc[·][qmin]` + this slack.
+    pub deadline_slack: i64,
+}
+
+impl SystemSpec {
+    /// Draw a random feasible system: 1–10 actions, 1–4 quality levels,
+    /// rows monotone in quality with `av ≤ wc`, final deadline always
+    /// admitting the minimum quality.
+    pub fn generate(rng: &mut StdRng) -> SystemSpec {
+        let n_actions = rng.gen_range(1usize..=10);
+        let n_quality = rng.gen_range(1usize..=4);
+        let mut wc = Vec::with_capacity(n_actions);
+        let mut av = Vec::with_capacity(n_actions);
+        for _ in 0..n_actions {
+            let mut wc_row = Vec::with_capacity(n_quality);
+            let mut av_row = Vec::with_capacity(n_quality);
+            let mut a = 0i64;
+            let mut w = 0i64;
+            for _ in 0..n_quality {
+                a += rng.gen_range(1i64..=60);
+                w = w.max(a + rng.gen_range(0i64..=60));
+                av_row.push(a);
+                wc_row.push(w);
+            }
+            wc.push(wc_row);
+            av.push(av_row);
+        }
+        SystemSpec {
+            n_quality,
+            wc,
+            av,
+            deadline_slack: rng.gen_range(0i64..=500),
+        }
+    }
+
+    /// Number of actions.
+    pub fn n_actions(&self) -> usize {
+        self.wc.len()
+    }
+
+    /// The final deadline this spec builds to.
+    pub fn deadline(&self) -> Time {
+        Time::from_ns(self.wc.iter().map(|row| row[0]).sum::<i64>() + self.deadline_slack)
+    }
+
+    /// Materialize the [`ParameterizedSystem`]. Generated and shrunk
+    /// specs are valid by construction.
+    pub fn build(&self) -> ParameterizedSystem {
+        let mut b = SystemBuilder::new(self.n_quality);
+        for (i, (wc, av)) in self.wc.iter().zip(&self.av).enumerate() {
+            b = b.action(&format!("a{i}"), wc, av);
+        }
+        b.deadline_last(self.deadline())
+            .build()
+            .expect("generated spec is valid by construction")
+    }
+}
+
+/// One execution-time fault axis, in integer permille so cases are `Eq`
+/// and print exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Every action takes exactly its average time.
+    Honest,
+    /// Every action takes exactly its worst-case time.
+    WorstCase,
+    /// Seeded jitter around the average, clamped to `[0, Cwc]` —
+    /// contract-honouring by construction.
+    Stochastic {
+        /// Relative jitter amplitude, permille (0–900).
+        jitter_permille: i64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// A random-walk load factor under the same clamp — the "content-
+    /// driven drift" axis, still contract-honouring.
+    LoadDrift {
+        /// RNG seed for the walk.
+        seed: u64,
+    },
+    /// Uniform scaling of the average times; `> 1000` breaks the
+    /// contract (the model is stale), `≤ 1000` honours it.
+    Drift {
+        /// Scale factor, permille.
+        factor_permille: i64,
+    },
+    /// Random preemption delays added on top of the average times —
+    /// breaks the contract whenever it fires.
+    Preemption {
+        /// Preemption probability per action, permille.
+        p_permille: i64,
+        /// Maximum injected delay, nanoseconds.
+        max_delay_ns: i64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Selected actions exceed `Cwc` outright.
+    Violating {
+        /// Bitmask over action ids (bit `a` ⇒ action `a` is a victim).
+        victim_mask: u64,
+        /// Overshoot factor, permille (> 1000).
+        factor_permille: i64,
+    },
+}
+
+impl FaultKind {
+    /// Draw a random fault axis.
+    pub fn generate(rng: &mut StdRng) -> FaultKind {
+        match rng.gen_range(0u32..7) {
+            0 => FaultKind::Honest,
+            1 => FaultKind::WorstCase,
+            2 => FaultKind::Stochastic {
+                jitter_permille: rng.gen_range(0i64..=900),
+                seed: rng.next_u64(),
+            },
+            3 => FaultKind::LoadDrift {
+                seed: rng.next_u64(),
+            },
+            4 => FaultKind::Drift {
+                factor_permille: rng.gen_range(500i64..=1800),
+            },
+            5 => FaultKind::Preemption {
+                p_permille: rng.gen_range(0i64..=400),
+                max_delay_ns: rng.gen_range(1i64..=300),
+                seed: rng.next_u64(),
+            },
+            _ => FaultKind::Violating {
+                victim_mask: rng.next_u64(),
+                factor_permille: rng.gen_range(1100i64..=2500),
+            },
+        }
+    }
+
+    /// Whether this fault can ever produce `C > Cwc` on `n_actions`.
+    pub fn honours_contract(self, n_actions: usize) -> bool {
+        match self {
+            FaultKind::Honest
+            | FaultKind::WorstCase
+            | FaultKind::Stochastic { .. }
+            | FaultKind::LoadDrift { .. } => true,
+            FaultKind::Drift { factor_permille } => factor_permille <= 1000,
+            FaultKind::Preemption { p_permille, .. } => p_permille == 0,
+            FaultKind::Violating { victim_mask, .. } => {
+                (0..n_actions.min(64)).all(|a| victim_mask >> a & 1 == 0)
+            }
+        }
+    }
+
+    /// The same fault with seeds offset by `i` — distinct per-stream
+    /// instances for fleet/elastic fan-outs.
+    pub fn with_seed_offset(self, i: u64) -> FaultKind {
+        match self {
+            FaultKind::Stochastic {
+                jitter_permille,
+                seed,
+            } => FaultKind::Stochastic {
+                jitter_permille,
+                seed: seed.wrapping_add(i),
+            },
+            FaultKind::LoadDrift { seed } => FaultKind::LoadDrift {
+                seed: seed.wrapping_add(i),
+            },
+            FaultKind::Preemption {
+                p_permille,
+                max_delay_ns,
+                seed,
+            } => FaultKind::Preemption {
+                p_permille,
+                max_delay_ns,
+                seed: seed.wrapping_add(i),
+            },
+            other => other,
+        }
+    }
+
+    /// Build a fresh execution-time source for this fault over `table`.
+    /// Fresh per path: every path must see the same seeded sequence.
+    pub fn exec<'a>(self, table: &'a TimeTable) -> AnyExec<'a> {
+        match self {
+            FaultKind::Honest => AnyExec::Honest(ConstantExec::average(table)),
+            FaultKind::WorstCase => AnyExec::Worst(ConstantExec::worst_case(table)),
+            FaultKind::Stochastic {
+                jitter_permille,
+                seed,
+            } => AnyExec::Stochastic(StochasticExec::new(
+                table,
+                ConstantLoad(1.0),
+                jitter_permille as f64 / 1000.0,
+                seed,
+            )),
+            FaultKind::LoadDrift { seed } => AnyExec::LoadDrift(StochasticExec::new(
+                table,
+                RandomWalkLoad::new(seed, 0.05, 0.5, 1.5),
+                0.1,
+                seed ^ 0x9e37_79b9,
+            )),
+            FaultKind::Drift { factor_permille } => AnyExec::Drift(DriftExec::new(
+                ConstantExec::average(table),
+                factor_permille as f64 / 1000.0,
+            )),
+            FaultKind::Preemption {
+                p_permille,
+                max_delay_ns,
+                seed,
+            } => AnyExec::Preempt(PreemptionExec::new(
+                ConstantExec::average(table),
+                p_permille as f64 / 1000.0,
+                Time::from_ns(max_delay_ns),
+                seed,
+            )),
+            FaultKind::Violating {
+                victim_mask,
+                factor_permille,
+            } => {
+                let victims: Vec<ActionId> = (0..table.n_actions().min(64))
+                    .filter(|a| victim_mask >> a & 1 == 1)
+                    .collect();
+                AnyExec::Violating(ViolatingExec::new(
+                    table,
+                    victims,
+                    (factor_permille.max(1001)) as f64 / 1000.0,
+                ))
+            }
+        }
+    }
+}
+
+/// The one concrete execution-time source type all paths share, so the
+/// monomorphized runners stay monomorphic while the fault axis varies.
+#[allow(missing_docs)]
+pub enum AnyExec<'a> {
+    Honest(ConstantExec<'a>),
+    Worst(ConstantExec<'a>),
+    Stochastic(StochasticExec<'a, ConstantLoad>),
+    LoadDrift(StochasticExec<'a, RandomWalkLoad>),
+    Drift(DriftExec<ConstantExec<'a>>),
+    Preempt(PreemptionExec<ConstantExec<'a>>),
+    Violating(ViolatingExec<'a>),
+}
+
+impl ExecutionTimeSource for AnyExec<'_> {
+    fn actual(&mut self, cycle: usize, action: ActionId, q: Quality) -> Time {
+        match self {
+            AnyExec::Honest(e) | AnyExec::Worst(e) => e.actual(cycle, action, q),
+            AnyExec::Stochastic(e) => e.actual(cycle, action, q),
+            AnyExec::LoadDrift(e) => e.actual(cycle, action, q),
+            AnyExec::Drift(e) => e.actual(cycle, action, q),
+            AnyExec::Preempt(e) => e.actual(cycle, action, q),
+            AnyExec::Violating(e) => e.actual(cycle, action, q),
+        }
+    }
+}
+
+/// Live `C ≤ Cwc` witness: wraps any source and counts violations, so
+/// the safety oracle can tell "the platform broke its contract" apart
+/// from "the manager broke its guarantee".
+pub struct ContractMonitor<'a, E> {
+    inner: E,
+    table: &'a TimeTable,
+    /// Number of calls whose actual time exceeded `Cwc`.
+    pub violations: u64,
+}
+
+impl<'a, E: ExecutionTimeSource> ContractMonitor<'a, E> {
+    /// Monitor `inner` against `table`'s worst-case column.
+    pub fn new(inner: E, table: &'a TimeTable) -> ContractMonitor<'a, E> {
+        ContractMonitor {
+            inner,
+            table,
+            violations: 0,
+        }
+    }
+}
+
+impl<E: ExecutionTimeSource> ExecutionTimeSource for ContractMonitor<'_, E> {
+    fn actual(&mut self, cycle: usize, action: ActionId, q: Quality) -> Time {
+        let t = self.inner.actual(cycle, action, q);
+        if t > self.table.wc(action, q) {
+            self.violations += 1;
+        }
+        t
+    }
+}
+
+/// Arrival pattern for the streaming/elastic paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SourceKind {
+    /// One frame per period from time zero.
+    Periodic,
+    /// Periodic with bounded random jitter.
+    Jittered {
+        /// Jitter bound, nanoseconds.
+        jitter_ns: i64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Random bursts of same-instant arrivals.
+    Bursty {
+        /// Largest burst size.
+        max_burst: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl SourceKind {
+    /// Draw a random source kind.
+    pub fn generate(rng: &mut StdRng) -> SourceKind {
+        match rng.gen_range(0u32..3) {
+            0 => SourceKind::Periodic,
+            1 => SourceKind::Jittered {
+                jitter_ns: rng.gen_range(1i64..=200),
+                seed: rng.next_u64(),
+            },
+            _ => SourceKind::Bursty {
+                max_burst: rng.gen_range(2usize..=5),
+                seed: rng.next_u64(),
+            },
+        }
+    }
+
+    /// Materialize the source for `frames` frames of `period`.
+    pub fn source(self, period: Time, frames: usize) -> AnySource {
+        match self {
+            SourceKind::Periodic => AnySource::Periodic(Periodic::new(period, frames)),
+            SourceKind::Jittered { jitter_ns, seed } => AnySource::Jittered(Jittered::new(
+                period,
+                Time::from_ns(jitter_ns),
+                frames,
+                seed,
+            )),
+            SourceKind::Bursty { max_burst, seed } => {
+                AnySource::Bursty(Bursty::new(period, max_burst, frames, seed))
+            }
+        }
+    }
+}
+
+/// Concrete arrival-source sum type (same role as [`AnyExec`]).
+#[allow(missing_docs)]
+#[derive(Clone, Debug)]
+pub enum AnySource {
+    Periodic(Periodic),
+    Jittered(Jittered),
+    Bursty(Bursty),
+}
+
+impl ArrivalSource for AnySource {
+    fn next_arrival(&mut self) -> Option<Time> {
+        match self {
+            AnySource::Periodic(s) => s.next_arrival(),
+            AnySource::Jittered(s) => s.next_arrival(),
+            AnySource::Bursty(s) => s.next_arrival(),
+        }
+    }
+
+    fn peek(&mut self) -> Option<Time> {
+        match self {
+            AnySource::Periodic(s) => s.peek(),
+            AnySource::Jittered(s) => s.peek(),
+            AnySource::Bursty(s) => s.peek(),
+        }
+    }
+}
+
+/// The fault/drift scenario one case runs under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// Execution-time fault axis.
+    pub fault: FaultKind,
+    /// Frames per run.
+    pub cycles: usize,
+    /// How cycles chain on the identity paths.
+    pub chaining: CycleChaining,
+    /// Arrival pattern for the accounting paths.
+    pub source: SourceKind,
+    /// Streaming backlog capacity.
+    pub capacity: usize,
+    /// Streaming overload policy.
+    pub policy: OverloadPolicy,
+    /// Clock quantization for the managers on the identity paths
+    /// (0 = ideal clock, no [`ClockedManager`] wrap).
+    pub clock_quantum_ns: i64,
+    /// Rounding direction when quantized.
+    pub rounding: ClockRounding,
+}
+
+impl Scenario {
+    /// Draw a random scenario.
+    pub fn generate(rng: &mut StdRng) -> Scenario {
+        Scenario {
+            fault: FaultKind::generate(rng),
+            cycles: rng.gen_range(2usize..=8),
+            chaining: if rng.gen_bool(0.5) {
+                CycleChaining::WorkConserving
+            } else {
+                CycleChaining::ArrivalClamped
+            },
+            source: SourceKind::generate(rng),
+            capacity: rng.gen_range(1usize..=4),
+            policy: match rng.gen_range(0u32..3) {
+                0 => OverloadPolicy::Block,
+                1 => OverloadPolicy::DropNewest,
+                _ => OverloadPolicy::SkipToLatest,
+            },
+            clock_quantum_ns: *[0i64, 16, 64, 256].get(rng.gen_range(0usize..4)).unwrap(),
+            rounding: if rng.gen_bool(0.5) {
+                ClockRounding::Down
+            } else {
+                ClockRounding::Up
+            },
+        }
+    }
+}
+
+/// One self-contained fuzz input: replaying the `seed` regenerates
+/// exactly this `spec` + `scenario` pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzCase {
+    /// The generator seed this case was drawn from (0 for shrunk cases,
+    /// which are no longer seed-reachable).
+    pub seed: u64,
+    /// The generated system.
+    pub spec: SystemSpec,
+    /// The generated fault/drift scenario.
+    pub scenario: Scenario,
+}
+
+impl FuzzCase {
+    /// Deterministically generate the case for `seed`.
+    pub fn generate(seed: u64) -> FuzzCase {
+        let mut rng = StdRng::seed_from_u64(seed);
+        FuzzCase {
+            seed,
+            spec: SystemSpec::generate(&mut rng),
+            scenario: Scenario::generate(&mut rng),
+        }
+    }
+}
+
+/// An oracle violation: which part tripped and the mismatch detail.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which oracle part failed: `identity`, `safety`, `accounting` or
+    /// `monotonicity`.
+    pub oracle: &'static str,
+    /// Human-readable mismatch description.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(oracle: &'static str, detail: String) -> Violation {
+        Violation { oracle, detail }
+    }
+}
+
+macro_rules! oracle_eq {
+    ($oracle:literal, $left:expr, $right:expr, $what:expr) => {
+        if $left != $right {
+            return Err(Violation::new(
+                $oracle,
+                format!("{}: {:?} != {:?}", $what, $left, $right),
+            ));
+        }
+    };
+}
+
+macro_rules! oracle {
+    ($oracle:literal, $cond:expr, $($detail:tt)*) => {
+        if !$cond {
+            return Err(Violation::new($oracle, format!($($detail)*)));
+        }
+    };
+}
+
+/// Run one cycle-driving path with the scenario's (possibly clocked)
+/// manager wrap applied uniformly.
+fn drive<M: QualityManager>(
+    sys: &ParameterizedSystem,
+    manager: M,
+    scenario: &Scenario,
+    period: Time,
+    sink: &mut Trace,
+) -> sqm_core::engine::RunSummary {
+    let mut exec = scenario.fault.exec(sys.table());
+    if scenario.clock_quantum_ns > 0 {
+        let clocked = ClockedManager::new(
+            manager,
+            RtClock::new(Time::from_ns(scenario.clock_quantum_ns), Time::ZERO),
+            scenario.rounding,
+            1,
+        );
+        Engine::new(sys, clocked, OVERHEAD).run_cycles(
+            scenario.cycles,
+            period,
+            scenario.chaining,
+            &mut exec,
+            sink,
+        )
+    } else {
+        Engine::new(sys, manager, OVERHEAD).run_cycles(
+            scenario.cycles,
+            period,
+            scenario.chaining,
+            &mut exec,
+            sink,
+        )
+    }
+}
+
+/// Rank a region choice for monotonicity comparisons: infeasible sorts
+/// below every quality.
+fn rank(choice: Option<Quality>) -> i32 {
+    match choice {
+        None => -1,
+        Some(q) => q.index() as i32,
+    }
+}
+
+/// Execute every oracle path for one case. `Ok(n)` is the number of
+/// system×scenario×path cases run; `Err` is the first violation.
+pub fn run_case(case: &FuzzCase) -> Result<usize, Violation> {
+    let sys = case.spec.build();
+    let regions = compile_regions(&sys);
+    let period = sys.final_deadline();
+    let scenario = &case.scenario;
+    let mut paths = 0usize;
+
+    // ── Oracle 1: identity ──────────────────────────────────────────
+    // Serial naive reference, trace recorded.
+    let mut naive_trace = Trace::default();
+    let naive = drive(
+        &sys,
+        LookupManager::new(&regions),
+        scenario,
+        period,
+        &mut naive_trace,
+    );
+    paths += 1;
+
+    // Hot manager: byte-identical summary AND records.
+    let mut hot_trace = Trace::default();
+    let hot = drive(
+        &sys,
+        HotLookupManager::new(&regions),
+        scenario,
+        period,
+        &mut hot_trace,
+    );
+    paths += 1;
+    oracle_eq!("identity", hot, naive, "hot summary != naive");
+    oracle_eq!(
+        "identity",
+        hot_trace.cycles.len(),
+        naive_trace.cycles.len(),
+        "hot cycle count"
+    );
+    for (a, b) in naive_trace.cycles.iter().zip(&hot_trace.cycles) {
+        oracle_eq!("identity", b.records, a.records, "hot records != naive");
+    }
+
+    // Periodic + Block streaming reproduces the serial run.
+    {
+        let mut engine = Engine::new(&sys, LookupManager::new(&regions), OVERHEAD);
+        let mut exec = scenario.fault.exec(sys.table());
+        let streamed = StreamingRunner::new(StreamConfig {
+            chaining: scenario.chaining,
+            capacity: 2,
+            policy: OverloadPolicy::Block,
+        })
+        .run(
+            &mut engine,
+            &mut Periodic::new(period, scenario.cycles),
+            &mut exec,
+            &mut NullSink,
+        );
+        paths += 1;
+        if scenario.clock_quantum_ns == 0 {
+            oracle_eq!("identity", streamed.run, naive, "streaming != serial");
+        }
+        oracle_eq!(
+            "accounting",
+            streamed.stats.arrived,
+            streamed.stats.processed,
+            "periodic Block stream must process everything"
+        );
+    }
+
+    // Fleet: every worker count produces the same fold.
+    let specs: Vec<StreamSpec<()>> = (0..3u64)
+        .map(|i| StreamSpec::new((), i, scenario.cycles))
+        .collect();
+    let fleet_drive = |spec: &StreamSpec<()>, scratch: &mut sqm_core::fleet::StreamScratch| {
+        let mut exec = scenario.fault.with_seed_offset(spec.seed).exec(sys.table());
+        let mut sink = sqm_core::engine::RecordBuffer::new(&mut scratch.records);
+        Engine::new(&sys, LookupManager::new(&regions), OVERHEAD).run_cycles(
+            spec.cycles,
+            period,
+            scenario.chaining,
+            &mut exec,
+            &mut sink,
+        )
+    };
+    let fleet_one: FleetSummary = FleetRunner::new(1).run(&specs, fleet_drive);
+    let fleet_two: FleetSummary = FleetRunner::new(2).run(&specs, fleet_drive);
+    paths += 2;
+    oracle_eq!("identity", fleet_two, fleet_one, "fleet(2) != fleet(1)");
+
+    // Elastic: worker counts agree, and the per-stream results equal the
+    // streaming runner's fold under unbounded admission.
+    {
+        let elastic_streams = || -> Vec<_> {
+            (0..3u64)
+                .map(|i| {
+                    (
+                        Periodic::new(period, scenario.cycles),
+                        EngineDriver::new(
+                            Engine::new(&sys, LookupManager::new(&regions), OVERHEAD),
+                            scenario.fault.with_seed_offset(i).exec(sys.table()),
+                            NullSink,
+                        ),
+                    )
+                })
+                .collect()
+        };
+        let config = ElasticConfig::live()
+            .with_chaining(scenario.chaining)
+            .with_ring_capacity(2);
+        let (elastic_one, _) = ElasticRunner::new(1, config).run(elastic_streams());
+        let (elastic_two, _) = ElasticRunner::new(2, config).run(elastic_streams());
+        paths += 2;
+        oracle_eq!(
+            "identity",
+            elastic_two,
+            elastic_one,
+            "elastic(2) != elastic(1)"
+        );
+
+        let serial_streams: Vec<StreamSummary> = (0..3u64)
+            .map(|i| {
+                let mut engine = Engine::new(&sys, LookupManager::new(&regions), OVERHEAD);
+                let mut exec = scenario.fault.with_seed_offset(i).exec(sys.table());
+                let mut s = StreamingRunner::new(StreamConfig {
+                    chaining: scenario.chaining,
+                    capacity: 2,
+                    policy: OverloadPolicy::Block,
+                })
+                .run(
+                    &mut engine,
+                    &mut Periodic::new(period, scenario.cycles),
+                    &mut exec,
+                    &mut NullSink,
+                );
+                s.stats.max_backlog = 0;
+                s
+            })
+            .collect();
+        paths += 1;
+        let flattened: Vec<StreamSummary> = elastic_one
+            .per_stream()
+            .iter()
+            .map(|s| {
+                let mut s = *s;
+                s.stats.max_backlog = 0;
+                s
+            })
+            .collect();
+        oracle_eq!(
+            "identity",
+            flattened,
+            serial_streams,
+            "elastic per-stream != streaming fold"
+        );
+    }
+
+    // ── Oracle 2: safety ────────────────────────────────────────────
+    // Zero overhead, ideal clock, period = final deadline: the compiled
+    // mixed-policy table guarantees no miss and no infeasible decision
+    // as long as the platform honours C ≤ Cwc.
+    for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
+        let mut monitor = ContractMonitor::new(scenario.fault.exec(sys.table()), sys.table());
+        let run = Engine::new(&sys, LookupManager::new(&regions), OverheadModel::ZERO).run_cycles(
+            scenario.cycles,
+            period,
+            chaining,
+            &mut monitor,
+            &mut NullSink,
+        );
+        paths += 1;
+        if monitor.violations == 0 {
+            oracle!(
+                "safety",
+                run.misses == 0 && run.infeasible == 0,
+                "contract-honouring run missed: misses={} infeasible={} ({chaining:?}, fault {:?})",
+                run.misses,
+                run.infeasible,
+                scenario.fault
+            );
+            oracle!(
+                "safety",
+                scenario.fault.honours_contract(case.spec.n_actions()) || monitor.violations == 0,
+                "unreachable"
+            );
+        } else {
+            oracle!(
+                "safety",
+                !scenario.fault.honours_contract(case.spec.n_actions()),
+                "fault {:?} claimed contract-honouring but violated {} times",
+                scenario.fault,
+                monitor.violations
+            );
+        }
+    }
+
+    // ── Oracle 3: accounting ────────────────────────────────────────
+    // Streaming under the scenario's source/capacity/policy: every
+    // arrived frame is processed or dropped, nothing invented or lost.
+    {
+        let mut engine = Engine::new(&sys, LookupManager::new(&regions), OVERHEAD);
+        let mut exec = scenario.fault.exec(sys.table());
+        let mut source = scenario.source.source(period, scenario.cycles);
+        let out = StreamingRunner::new(StreamConfig {
+            chaining: CycleChaining::ArrivalClamped,
+            capacity: scenario.capacity,
+            policy: scenario.policy,
+        })
+        .run(&mut engine, &mut source, &mut exec, &mut NullSink);
+        paths += 1;
+        oracle_eq!(
+            "accounting",
+            out.stats.arrived,
+            scenario.cycles,
+            "stream arrivals != frames emitted"
+        );
+        oracle_eq!(
+            "accounting",
+            out.stats.processed + out.stats.dropped,
+            out.stats.arrived,
+            format!("stream books don't balance under {:?}", scenario.policy)
+        );
+        if scenario.policy == OverloadPolicy::Block {
+            oracle_eq!(
+                "accounting",
+                out.stats.dropped,
+                0,
+                "Block policy must never drop"
+            );
+        }
+    }
+
+    // Elastic under global admission pressure: the shed ledger and the
+    // merged stats must tell the same story.
+    {
+        let streams: Vec<_> = (0..4u64)
+            .map(|i| {
+                (
+                    scenario.source.source(period, scenario.cycles),
+                    EngineDriver::new(
+                        Engine::new(&sys, LookupManager::new(&regions), OVERHEAD),
+                        scenario.fault.with_seed_offset(i).exec(sys.table()),
+                        NullSink,
+                    ),
+                )
+            })
+            .collect();
+        let config = ElasticConfig::live()
+            .with_chaining(CycleChaining::ArrivalClamped)
+            .with_ring_capacity(4)
+            .with_admission(Admission::DropNewest {
+                global_capacity: scenario.capacity,
+            });
+        let (out, _) = ElasticRunner::new(2, config).run(streams);
+        paths += 1;
+        let ledger = *out.ledger();
+        oracle_eq!(
+            "accounting",
+            ledger.arrived,
+            4 * scenario.cycles,
+            "elastic arrivals != frames emitted"
+        );
+        oracle_eq!(
+            "accounting",
+            ledger.admitted + ledger.shed,
+            ledger.arrived,
+            "shed ledger doesn't balance"
+        );
+        oracle_eq!(
+            "accounting",
+            out.stats().processed,
+            ledger.admitted,
+            "merged stats disagree with ledger (processed)"
+        );
+        oracle_eq!(
+            "accounting",
+            out.stats().dropped,
+            ledger.shed,
+            "merged stats disagree with ledger (shed)"
+        );
+    }
+
+    // ── Oracle 4: monotonicity under relaxation ─────────────────────
+    paths += check_monotonicity(case, &sys, &regions)?;
+
+    Ok(paths)
+}
+
+/// Oracle part 4 as its own pass: region-table monotonicity in `t`,
+/// deadline relaxation never lowering a choice, and the relaxed manager
+/// inheriting the zero-miss guarantee.
+fn check_monotonicity(
+    case: &FuzzCase,
+    sys: &ParameterizedSystem,
+    regions: &QualityRegionTable,
+) -> Result<usize, Violation> {
+    let period = sys.final_deadline();
+    let delta = Time::from_ns(1 + period.as_ns() / 8);
+    let shifted = regions.shifted(delta);
+    let horizon = period.as_ns() + 2 * delta.as_ns();
+    for state in 0..sys.n_actions() {
+        let mut prev_rank = i32::MAX;
+        let mut t = -horizon;
+        while t <= horizon {
+            let here = rank(regions.choose(state, Time::from_ns(t)).0);
+            oracle!(
+                "monotonicity",
+                here <= prev_rank,
+                "choice not monotone in t at state {state}, t={t}: {here} after {prev_rank}"
+            );
+            prev_rank = here;
+            let relaxed = rank(shifted.choose(state, Time::from_ns(t)).0);
+            oracle!(
+                "monotonicity",
+                relaxed >= here,
+                "relaxing the deadline by {delta:?} lowered the choice at state {state}, t={t}: {here} -> {relaxed}"
+            );
+            t += 1 + horizon / 64;
+        }
+    }
+
+    // The relaxed manager keeps the safety guarantee under an honest
+    // platform — Proposition 3 made executable.
+    let relaxation = compile_relaxation(
+        sys,
+        regions,
+        StepSet::new(vec![1, 2, 4]).expect("static step menu"),
+    );
+    let mut exec = ConstantExec::average(sys.table());
+    let run = Engine::new(
+        sys,
+        RelaxedManager::new(regions, &relaxation),
+        OverheadModel::ZERO,
+    )
+    .run_cycles(
+        case.scenario.cycles,
+        period,
+        CycleChaining::ArrivalClamped,
+        &mut exec,
+        &mut NullSink,
+    );
+    oracle!(
+        "monotonicity",
+        run.misses == 0 && run.infeasible == 0,
+        "relaxed manager broke safety on an honest platform: misses={} infeasible={}",
+        run.misses,
+        run.infeasible
+    );
+    Ok(1)
+}
+
+/// Greedily shrink a failing case: try structurally smaller candidates
+/// and keep any that still violates the oracle, until none does.
+pub fn minimize(case: &FuzzCase) -> FuzzCase {
+    let mut best = case.clone();
+    if run_case(&best).is_ok() {
+        return best;
+    }
+    loop {
+        let mut improved = false;
+        for cand in shrink_candidates(&best) {
+            if run_case(&cand).is_err() {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+fn shrink_candidates(c: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+    let mut push = |mut cand: FuzzCase| {
+        cand.seed = 0;
+        if cand != *c {
+            out.push(cand);
+        }
+    };
+    if c.scenario.cycles > 1 {
+        let mut cand = c.clone();
+        cand.scenario.cycles /= 2;
+        push(cand);
+    }
+    if c.spec.n_actions() > 1 {
+        let mut cand = c.clone();
+        cand.spec.wc.pop();
+        cand.spec.av.pop();
+        push(cand);
+    }
+    if c.spec.n_quality > 1 {
+        let mut cand = c.clone();
+        cand.spec.n_quality -= 1;
+        for row in cand.spec.wc.iter_mut().chain(cand.spec.av.iter_mut()) {
+            row.pop();
+        }
+        push(cand);
+    }
+    if c.scenario.fault != FaultKind::Honest {
+        let mut cand = c.clone();
+        cand.scenario.fault = FaultKind::Honest;
+        push(cand);
+    }
+    if c.scenario.source != SourceKind::Periodic {
+        let mut cand = c.clone();
+        cand.scenario.source = SourceKind::Periodic;
+        push(cand);
+    }
+    if c.scenario.clock_quantum_ns != 0 {
+        let mut cand = c.clone();
+        cand.scenario.clock_quantum_ns = 0;
+        push(cand);
+    }
+    if c.scenario.policy != OverloadPolicy::Block {
+        let mut cand = c.clone();
+        cand.scenario.policy = OverloadPolicy::Block;
+        push(cand);
+    }
+    if c.spec.deadline_slack > 0 {
+        let mut cand = c.clone();
+        cand.spec.deadline_slack /= 2;
+        push(cand);
+    }
+    out
+}
+
+/// Render a failing case as a self-contained repro block for stderr.
+pub fn format_repro(case: &FuzzCase, violation: &Violation) -> String {
+    let mut s = String::new();
+    s.push_str("================ fuzz repro ================\n");
+    s.push_str(&format!(
+        "oracle `{}` violated: {}\n",
+        violation.oracle, violation.detail
+    ));
+    if case.seed != 0 {
+        s.push_str(&format!(
+            "replay: run_case(&FuzzCase::generate({}))\n",
+            case.seed
+        ));
+    } else {
+        s.push_str("replay: construct the case literal below (shrunk; not seed-reachable)\n");
+    }
+    s.push_str(&format!("case: {case:#?}\n"));
+    s.push_str("============================================\n");
+    s
+}
+
+/// Summary of one campaign sweep.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Seeds swept.
+    pub seeds_run: usize,
+    /// Total system×scenario×path cases executed.
+    pub cases: usize,
+    /// First violation, minimized, with its repro text — `None` when the
+    /// whole sweep passed.
+    pub failure: Option<(FuzzCase, Violation, String)>,
+}
+
+/// Sweep `n_seeds` consecutive seeds starting at `base_seed`, stopping
+/// at (and minimizing) the first oracle violation.
+pub fn run_campaign(base_seed: u64, n_seeds: usize) -> CampaignReport {
+    let mut cases = 0usize;
+    for i in 0..n_seeds {
+        let case = FuzzCase::generate(base_seed + i as u64);
+        match run_case(&case) {
+            Ok(n) => cases += n,
+            Err(_) => {
+                let small = minimize(&case);
+                let violation = match run_case(&small) {
+                    Err(v) => v,
+                    Ok(_) => unreachable!("minimize returns a failing case"),
+                };
+                let repro = format_repro(&small, &violation);
+                return CampaignReport {
+                    seeds_run: i + 1,
+                    cases,
+                    failure: Some((small, violation, repro)),
+                };
+            }
+        }
+    }
+    CampaignReport {
+        seeds_run: n_seeds,
+        cases,
+        failure: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A modest sweep stays green and counts every path.
+    #[test]
+    fn small_campaign_passes() {
+        let report = run_campaign(1, 8);
+        if let Some((_, _, repro)) = &report.failure {
+            panic!("{repro}");
+        }
+        assert_eq!(report.seeds_run, 8);
+        assert!(report.cases >= 8 * 10, "paths per case: {}", report.cases);
+    }
+
+    /// Seed replay is exact: the same seed regenerates the same case.
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(FuzzCase::generate(42), FuzzCase::generate(42));
+        assert_ne!(FuzzCase::generate(42), FuzzCase::generate(43));
+    }
+
+    /// The minimizer converges and its output still fails, for a case
+    /// made to fail by an artificially broken oracle surrogate: here we
+    /// simply check it is the identity on passing cases.
+    #[test]
+    fn minimize_is_identity_on_passing_cases() {
+        let case = FuzzCase::generate(7);
+        assert!(run_case(&case).is_ok());
+        assert_eq!(minimize(&case), case);
+    }
+
+    /// The contract monitor actually witnesses violations for violating
+    /// faults and stays silent for honouring ones.
+    #[test]
+    fn contract_monitor_witnesses_violations() {
+        let spec = SystemSpec {
+            n_quality: 2,
+            wc: vec![vec![100, 200], vec![100, 200]],
+            av: vec![vec![50, 120], vec![50, 120]],
+            deadline_slack: 400,
+        };
+        let sys = spec.build();
+        let fault = FaultKind::Violating {
+            victim_mask: 0b1,
+            factor_permille: 1500,
+        };
+        assert!(!fault.honours_contract(spec.n_actions()));
+        let mut monitor = ContractMonitor::new(fault.exec(sys.table()), sys.table());
+        for a in 0..2 {
+            let _ = monitor.actual(0, a, Quality::new(1));
+        }
+        assert_eq!(monitor.violations, 1, "only the victim violates");
+        let honest = FaultKind::Stochastic {
+            jitter_permille: 500,
+            seed: 9,
+        };
+        assert!(honest.honours_contract(spec.n_actions()));
+        let mut monitor = ContractMonitor::new(honest.exec(sys.table()), sys.table());
+        for c in 0..50 {
+            for a in 0..2 {
+                let _ = monitor.actual(c, a, Quality::new(1));
+            }
+        }
+        assert_eq!(monitor.violations, 0, "clamped source never violates");
+    }
+}

@@ -33,6 +33,12 @@
 //!   sqm-bench --release --bin bench_elastic` emits `BENCH_elastic.json`,
 //!   the trajectory's many-streams point: streams/sec and ns/action
 //!   versus worker count, gated on byte-identity with the serial path).
+//! * [`fuzz`] — the differential fuzzing + fault-injection campaign:
+//!   generated systems × fault/drift scenarios × every execution path,
+//!   checked against the four-part safety oracle (`cargo run -p
+//!   sqm-bench --release --bin fuzz_smoke` is the CI smoke sweep;
+//!   `bench_faults` emits `BENCH_faults.json`, the trajectory's
+//!   robustness point: oracle throughput and recalibration latency).
 //! * [`report`] — ASCII tables/plots for the figure binaries.
 
 #![forbid(unsafe_code)]
@@ -40,6 +46,7 @@
 
 pub mod elastic;
 pub mod fleet;
+pub mod fuzz;
 pub mod harness;
 pub mod net;
 pub mod report;
@@ -48,6 +55,10 @@ pub mod workload;
 
 pub use elastic::{normalize_backlog, ElasticExperiment};
 pub use fleet::{FleetExperiment, FleetWorkload};
+pub use fuzz::{
+    format_repro, minimize, run_campaign, run_case, CampaignReport, FaultKind, FuzzCase, Scenario,
+    SourceKind, SystemSpec, Violation,
+};
 pub use harness::{run_paper_experiment, ExperimentResult, ManagerKind, PaperExperiment};
 pub use net::NetExperiment;
 pub use streaming::{StreamScenario, StreamingExperiment};

@@ -79,6 +79,12 @@ impl<F: FnMut(usize, ActionId, Quality) -> Time> ExecutionTimeSource for FnExec<
     }
 }
 
+impl<E: ExecutionTimeSource + ?Sized> ExecutionTimeSource for &mut E {
+    fn actual(&mut self, cycle: usize, action: ActionId, q: Quality) -> Time {
+        (**self).actual(cycle, action, q)
+    }
+}
+
 /// Converts a manager's abstract work units into clock time:
 /// `cost(work) = base + per_unit · work`.
 ///

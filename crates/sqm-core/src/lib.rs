@@ -73,6 +73,10 @@
 //! Extensions from the paper's conclusion: [`multi`] (multiple statically
 //! interleaved tasks and their engine-backed `MultiTaskRunner`) and
 //! [`approx`] (linear-constraint approximation of region tables).
+//! Beyond the paper: [`recalib`] — the online-recalibration seam
+//! ([`recalib::TableCell`] + [`recalib::AdaptiveLookupManager`]) that lets
+//! a freshly compiled region table be swapped in atomically at cycle
+//! boundaries while any runner is live.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -92,6 +96,7 @@ pub mod multi;
 pub mod policy;
 pub mod prefix;
 pub mod quality;
+pub mod recalib;
 pub mod regions;
 pub mod relaxation;
 pub mod smoothness;
@@ -131,6 +136,7 @@ pub mod prelude {
     };
     pub use crate::policy::{choose_quality, AveragePolicy, MixedPolicy, Policy, SafePolicy};
     pub use crate::quality::{Quality, QualitySet};
+    pub use crate::recalib::{AdaptiveLookupManager, TableCell};
     pub use crate::regions::QualityRegionTable;
     pub use crate::relaxation::{RelaxationTable, StepSet};
     pub use crate::source::{

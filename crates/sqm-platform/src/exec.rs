@@ -55,30 +55,50 @@ impl<L: LoadModel> ExecutionTimeSource for StochasticExec<'_, L> {
 
 /// A source that violates `C ≤ Cwc` on selected actions, for testing the
 /// controller's miss detection and the managers' degraded behaviour.
+///
+/// The victim set is normalized once at construction (sorted, deduplicated)
+/// so the per-action membership test is a binary search over a sorted
+/// slice rather than a linear scan — `actual` sits on the engine's hot
+/// path and victim lists grow with the system size under fuzzing.
 pub struct ViolatingExec<'a> {
     table: &'a TimeTable,
-    /// Actions whose actual time is `factor ×` worst case.
-    pub victims: Vec<ActionId>,
+    /// Sorted, deduplicated. Ids beyond the table's action count are kept
+    /// but can never match, so an out-of-range victim is inert, not an
+    /// error.
+    victims: Vec<ActionId>,
     /// Overrun factor (`> 1`).
     pub factor: f64,
 }
 
 impl<'a> ViolatingExec<'a> {
     /// Overrun `victims` by `factor ×` their worst case; everything else
-    /// runs at its average time.
-    pub fn new(table: &'a TimeTable, victims: Vec<ActionId>, factor: f64) -> Self {
+    /// runs at its average time. Duplicate victim ids collapse to one
+    /// membership entry; ids that no action carries simply never fire.
+    pub fn new(table: &'a TimeTable, mut victims: Vec<ActionId>, factor: f64) -> Self {
         assert!(factor > 1.0);
+        victims.sort_unstable();
+        victims.dedup();
         ViolatingExec {
             table,
             victims,
             factor,
         }
     }
+
+    /// The normalized (sorted, deduplicated) victim set.
+    pub fn victims(&self) -> &[ActionId] {
+        &self.victims
+    }
+
+    /// Whether `action` is overrun by this source.
+    pub fn is_victim(&self, action: ActionId) -> bool {
+        self.victims.binary_search(&action).is_ok()
+    }
 }
 
 impl ExecutionTimeSource for ViolatingExec<'_> {
     fn actual(&mut self, _cycle: usize, action: ActionId, q: Quality) -> Time {
-        if self.victims.contains(&action) {
+        if self.is_victim(action) {
             Time::from_ns((self.table.wc(action, q).as_ns() as f64 * self.factor) as i64)
         } else {
             self.table.av(action, q)
@@ -172,5 +192,32 @@ mod tests {
         let c = e.actual(0, 1, Quality::new(0));
         assert_eq!(c, Time::from_ns(1_500));
         assert!(c > t.wc(1, Quality::new(0)));
+    }
+
+    #[test]
+    fn violating_exec_normalizes_duplicate_victims() {
+        let t = table();
+        // The same victim listed three times, unsorted alongside another:
+        // membership collapses to {0, 1} and the overrun is applied once
+        // (not compounded) per action.
+        let mut e = ViolatingExec::new(&t, vec![1, 0, 1, 1], 1.5);
+        assert_eq!(e.victims(), &[0, 1]);
+        assert!(e.is_victim(0) && e.is_victim(1));
+        assert_eq!(e.actual(0, 0, Quality::new(0)), Time::from_ns(1_500));
+        assert_eq!(e.actual(0, 1, Quality::new(0)), Time::from_ns(1_500));
+    }
+
+    #[test]
+    fn violating_exec_ignores_out_of_range_victims() {
+        let t = table();
+        // Victim ids the 2-action table never executes: kept in the set
+        // but inert — every real action still runs at its average.
+        let mut e = ViolatingExec::new(&t, vec![7, 2, 99], 2.0);
+        assert_eq!(e.victims(), &[2, 7, 99]);
+        assert!(!e.is_victim(0) && !e.is_victim(1));
+        assert!(e.is_victim(99));
+        for a in 0..2 {
+            assert_eq!(e.actual(0, a, Quality::new(0)), t.av(a, Quality::new(0)));
+        }
     }
 }

@@ -27,6 +27,32 @@ use sqm_core::time::Time;
 /// action is preempted with probability `p`, for a uniformly-drawn delay
 /// in `[0, max_delay]`. Preemption time is *not* bounded by `Cwc`, so a
 /// deployment must absorb it via worst-case inflation.
+///
+/// # Examples
+///
+/// ```
+/// use sqm_core::controller::{ConstantExec, ExecutionTimeSource};
+/// use sqm_core::quality::Quality;
+/// use sqm_core::system::SystemBuilder;
+/// use sqm_core::time::Time;
+/// use sqm_platform::faults::PreemptionExec;
+///
+/// let sys = SystemBuilder::new(2)
+///     .action("decode", &[100, 200], &[60, 120])
+///     .deadline_last(Time::from_ns(300))
+///     .build()
+///     .unwrap();
+///
+/// // Every action preempted (p = 1.0) for at most 50 ns.
+/// let mut exec = PreemptionExec::new(
+///     ConstantExec::average(sys.table()),
+///     1.0,
+///     Time::from_ns(50),
+///     42,
+/// );
+/// let t = exec.actual(0, 0, Quality::new(0));
+/// assert!(t >= Time::from_ns(60) && t <= Time::from_ns(110));
+/// ```
 pub struct PreemptionExec<E> {
     inner: E,
     p: f64,
@@ -61,6 +87,30 @@ impl<E: ExecutionTimeSource> ExecutionTimeSource for PreemptionExec<E> {
 
 /// Scales every actual time by a constant factor — a platform that is
 /// systematically slower (`factor > 1`) or faster (`< 1`) than profiled.
+///
+/// A factor above `Cwc/Cav` breaks the execution contract `C ≤ Cwc`, which
+/// is exactly the drift the online-recalibration pair
+/// (`sqm_platform::recalib`) is built to absorb.
+///
+/// # Examples
+///
+/// ```
+/// use sqm_core::controller::{ConstantExec, ExecutionTimeSource};
+/// use sqm_core::quality::Quality;
+/// use sqm_core::system::SystemBuilder;
+/// use sqm_core::time::Time;
+/// use sqm_platform::faults::DriftExec;
+///
+/// let sys = SystemBuilder::new(2)
+///     .action("decode", &[100, 200], &[60, 120])
+///     .deadline_last(Time::from_ns(300))
+///     .build()
+///     .unwrap();
+///
+/// // A platform running 1.5× slower than profiled: Cav 60 → 90 ns.
+/// let mut slow = DriftExec::new(ConstantExec::average(sys.table()), 1.5);
+/// assert_eq!(slow.actual(0, 0, Quality::new(0)), Time::from_ns(90));
+/// ```
 pub struct DriftExec<E> {
     inner: E,
     factor: f64,

@@ -18,7 +18,10 @@
 //! * [`overhead`] — calibrated [`sqm_core::controller::OverheadModel`]s for
 //!   the three Quality Manager implementations;
 //! * [`faults`] — platform imperfections (preemption, drift, quantized
-//!   clock observations) for robustness testing.
+//!   clock observations) for robustness testing;
+//! * [`recalib`] — online recalibration: live re-estimation of the
+//!   `Cav`/`Cwc` model from observed execution times, recompiled and
+//!   published mid-run through [`sqm_core::recalib::TableCell`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,9 +32,11 @@ pub mod faults;
 pub mod load;
 pub mod overhead;
 pub mod profiler;
+pub mod recalib;
 
 pub use clock::{RtClock, VirtualClock};
 pub use exec::{StochasticExec, ViolatingExec};
 pub use faults::{ClockRounding, ClockedManager, DriftExec, PreemptionExec};
 pub use load::{BurstLoad, CompositeLoad, ConstantLoad, LoadModel, RandomWalkLoad, SineLoad};
 pub use profiler::{ProfileConfig, Profiler};
+pub use recalib::{OnlineEstimator, RecalibratingExec, RecalibrationConfig};

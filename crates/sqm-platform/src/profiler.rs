@@ -53,6 +53,33 @@ impl Profiler {
 
     /// Profile `n_actions` actions over `qualities`, sampling `source`.
     /// The source sees cycles `0..samples`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sqm_core::controller::FnExec;
+    /// use sqm_core::quality::{Quality, QualitySet};
+    /// use sqm_core::time::Time;
+    /// use sqm_platform::profiler::{ProfileConfig, Profiler};
+    ///
+    /// // A deterministic source: action `a` at quality `q` takes
+    /// // 100·(a+1) + 50·q ns.
+    /// let mut source = FnExec(|_cycle, a, q: Quality| {
+    ///     Time::from_ns(100 * (a as i64 + 1) + 50 * q.index() as i64)
+    /// });
+    ///
+    /// let profiler = Profiler::new(ProfileConfig {
+    ///     samples: 8,
+    ///     wc_margin_permille: 100, // inflate the observed max by +10 %
+    /// });
+    /// let table = profiler
+    ///     .profile(2, QualitySet::new(2).unwrap(), &mut source)
+    ///     .unwrap();
+    ///
+    /// assert_eq!(table.av(0, Quality::new(0)), Time::from_ns(100));
+    /// assert_eq!(table.wc(0, Quality::new(0)), Time::from_ns(110));
+    /// assert_eq!(table.av(1, Quality::new(1)), Time::from_ns(250));
+    /// ```
     pub fn profile<E: ExecutionTimeSource>(
         &self,
         n_actions: usize,

@@ -30,7 +30,14 @@
 //!   closed loop.
 //! * [`platform`] — a virtual execution platform (virtual clock, stochastic
 //!   execution-time models bounded by `Cwc`, profiler, calibrated QM
-//!   overhead models, fault injection).
+//!   overhead models), plus what goes wrong on real hardware:
+//!   `platform::faults` injects preemption delays, systematic speed drift
+//!   and quantized-clock observation, and `platform::recalib` answers the
+//!   drift with online re-estimation — a [`platform::RecalibratingExec`]
+//!   feeds observed times into an [`platform::OnlineEstimator`] and
+//!   atomically republishes the recompiled region table through
+//!   [`core::recalib::TableCell`], picked up by an
+//!   [`core::recalib::AdaptiveLookupManager`] at the next cycle boundary.
 //! * [`mpeg`] — the MPEG-like encoder workload of the paper's evaluation
 //!   (1,189 actions per frame, 7 quality levels).
 //! * [`power`] — the DVFS extension sketched in the paper's conclusion
@@ -74,7 +81,10 @@
 //! `… --bin bench_hotpath` the decision-core fast-path point (naive scan
 //! vs incremental search, byte-identical in virtual time) and
 //! `… --bin bench_elastic` the elastic-scheduler stress point (10⁵ live
-//! streams, streams/sec and ns/action versus worker count) next to them.
+//! streams, streams/sec and ns/action versus worker count) and
+//! `… --bin bench_faults` the robustness point (differential-fuzzing
+//! oracle throughput and online-recalibration latency; `… --bin
+//! fuzz_smoke` is the CI sweep of the same campaign) next to them.
 //!
 //! ## Quickstart
 //!

@@ -15,10 +15,13 @@
 mod common;
 
 use common::golden::{assert_matches_golden, trace_to_string};
-use speed_qm::core::engine::CycleChaining;
+use speed_qm::core::engine::{CycleChaining, Engine};
+use speed_qm::core::manager::LookupManager;
 use speed_qm::core::relaxation::StepSet;
+use speed_qm::core::time::Time;
 use speed_qm::core::trace::Trace;
 use speed_qm::mpeg::EncoderConfig;
+use speed_qm::platform::faults::{DriftExec, PreemptionExec};
 use sqm_bench::{AudioExperiment, NetExperiment, PaperExperiment, Workload};
 
 const JITTER: f64 = 0.1;
@@ -50,9 +53,56 @@ fn mpeg_trace_matches_golden() {
     );
 }
 
+/// Run a fault-wrapped exec over the workload's serial reference engine
+/// and pin the trace. Seeded fault scenarios freeze not just the engine
+/// loop but the fault wrappers' sampling order — a reordered RNG draw or
+/// a changed rounding in `DriftExec` shows up as a diff.
+fn check_fault_trace<W: Workload>(
+    w: &W,
+    exec: &mut impl speed_qm::core::controller::ExecutionTimeSource,
+    name: &str,
+) {
+    let mut trace = Trace::default();
+    let run = Engine::new(w.system(), LookupManager::new(w.regions()), w.overhead()).run_cycles(
+        CYCLES,
+        w.period(),
+        CycleChaining::WorkConserving,
+        exec,
+        &mut trace,
+    );
+    assert_eq!(run.cycles, CYCLES);
+    assert!(run.actions > 0);
+    assert_matches_golden(&format!("{name}.trace"), &trace_to_string(&trace));
+}
+
+fn mpeg_experiment() -> PaperExperiment {
+    PaperExperiment::with_config_and_rho(
+        EncoderConfig::tiny(3),
+        StepSet::new(vec![1, 2, 3, 4]).unwrap(),
+    )
+}
+
 #[test]
 fn audio_trace_matches_golden() {
     check(&AudioExperiment::tiny(3), "audio");
+}
+
+#[test]
+fn mpeg_drifted_trace_matches_golden() {
+    // A platform running 25 % slower than profiled: still inside most
+    // worst cases, but late enough to push decisions down-quality.
+    let w = mpeg_experiment();
+    let mut exec = DriftExec::new(w.exec_source(JITTER, SEED), 1.25);
+    check_fault_trace(&w, &mut exec, "mpeg_drift");
+}
+
+#[test]
+fn mpeg_preemption_burst_trace_matches_golden() {
+    // A heavy preemption burst: 35 % of actions lose up to 200 ns to an
+    // interrupt, unbounded by Cwc.
+    let w = mpeg_experiment();
+    let mut exec = PreemptionExec::new(w.exec_source(JITTER, SEED), 0.35, Time::from_ns(200), SEED);
+    check_fault_trace(&w, &mut exec, "mpeg_preempt");
 }
 
 #[test]
