@@ -77,7 +77,7 @@ fn main() {
         panic!("fuzz gate failed: oracle `{}`", violation.oracle);
     }
     println!(
-        "fuzz gate: {} seeds, {} cases, four-part oracle held ✓",
+        "fuzz gate: {} seeds, {} cases, five-part oracle held ✓",
         gate.seeds_run, gate.cases
     );
 

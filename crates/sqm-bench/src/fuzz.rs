@@ -4,7 +4,7 @@
 //! one pairing at a time; this module covers the *product space* —
 //! arbitrary systems × fault/drift scenarios × every execution path
 //! (serial naive, hot, streaming, fleet, elastic) — against one
-//! four-part **safety oracle**:
+//! five-part **safety oracle**:
 //!
 //! 1. **Identity** — the fast paths are byte-identical to the naive
 //!    serial reference: hot managers (traces included), Periodic+Block
@@ -26,6 +26,11 @@
 //! 4. **Monotonicity** — region tables are monotone in `t`, deadline
 //!    relaxation (`shifted(+δ)`) never lowers a choice, and the
 //!    relaxed manager inherits property 2 wholesale.
+//! 5. **Artifact** — the binary table artifact round-trips losslessly
+//!    (load(encode(T)) ≡ T, re-encode byte-identical, decisions equal
+//!    through the zero-copy view), and seeded single-byte corruptions
+//!    of the bytes are always rejected with a typed error — header
+//!    damage by its specific check, payload damage by the checksum.
 //!
 //! A **case** is one system × scenario × path invocation; [`run_case`]
 //! runs all paths for one generated pair and returns how many it
@@ -515,8 +520,8 @@ impl FuzzCase {
 /// An oracle violation: which part tripped and the mismatch detail.
 #[derive(Clone, Debug)]
 pub struct Violation {
-    /// Which oracle part failed: `identity`, `safety`, `accounting` or
-    /// `monotonicity`.
+    /// Which oracle part failed: `identity`, `safety`, `accounting`,
+    /// `monotonicity` or `artifact`.
     pub oracle: &'static str,
     /// Human-readable mismatch description.
     pub detail: String,
@@ -875,7 +880,80 @@ pub fn run_case(case: &FuzzCase) -> Result<usize, Violation> {
     // ── Oracle 4: monotonicity under relaxation ─────────────────────
     paths += check_monotonicity(case, &sys, &regions)?;
 
+    // ── Oracle 5: artifact round-trip + corruption rejection ────────
+    paths += check_artifact(case, &sys, &regions)?;
+
     Ok(paths)
+}
+
+/// Oracle part 5: the binary artifact is lossless for this case's
+/// compiled table, and seeded byte corruptions of it never load.
+fn check_artifact(
+    case: &FuzzCase,
+    sys: &ParameterizedSystem,
+    regions: &QualityRegionTable,
+) -> Result<usize, Violation> {
+    use sqm_core::artifact::{Artifact, ArtifactView};
+
+    let bytes = Artifact::encode(regions, None);
+    let loaded = match Artifact::load(&bytes) {
+        Ok(a) => a,
+        Err(e) => {
+            return Err(Violation::new(
+                "artifact",
+                format!("own bytes rejected: {e}"),
+            ))
+        }
+    };
+    let lt = loaded.tables(0).expect("single artifact has config 0");
+    oracle!(
+        "artifact",
+        lt.regions == *regions,
+        "loaded table differs from compiled"
+    );
+    oracle_eq!(
+        "artifact",
+        Artifact::encode(&lt.regions, None),
+        bytes,
+        "re-encode not byte-identical"
+    );
+    let view = match ArtifactView::new(&bytes) {
+        Ok(v) => v,
+        Err(e) => {
+            return Err(Violation::new(
+                "artifact",
+                format!("own bytes unviewable: {e}"),
+            ))
+        }
+    };
+    let horizon = sys.final_deadline().as_ns();
+    for state in 0..sys.n_actions() {
+        let mut t = -horizon;
+        while t <= horizon {
+            oracle_eq!(
+                "artifact",
+                view.choose(0, state, Time::from_ns(t)),
+                regions.choose(state, Time::from_ns(t)).0,
+                format!("view decision diverges at state {state}, t={t}")
+            );
+            t += 1 + horizon / 16;
+        }
+    }
+
+    // Seeded corruption sweep: any single flipped byte must be rejected
+    // (no flip may load as a silently different table).
+    let mut rng = StdRng::seed_from_u64(case.seed ^ 0xA27F_AC75);
+    for _ in 0..8 {
+        let pos = rng.gen_range(0..bytes.len());
+        let mut mutated = bytes.clone();
+        mutated[pos] ^= 1u8 << (rng.gen_range(0..8usize) as u32);
+        oracle!(
+            "artifact",
+            Artifact::load(&mutated).is_err() && ArtifactView::new(&mutated).is_err(),
+            "corrupted byte {pos} still loads"
+        );
+    }
+    Ok(1)
 }
 
 /// Oracle part 4 as its own pass: region-table monotonicity in `t`,

@@ -148,6 +148,14 @@ pub enum ParseError {
     },
     /// The parsed table violates a structural invariant.
     Inconsistent(String),
+    /// The `format=` header line names a version this library does not
+    /// understand. Text and binary artifacts share one version story:
+    /// this is the text-side twin of
+    /// [`crate::artifact::ArtifactError::UnsupportedVersion`].
+    UnsupportedVersion {
+        /// The version the header declared.
+        got: u32,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -164,6 +172,11 @@ impl fmt::Display for ParseError {
                 )
             }
             ParseError::Inconsistent(s) => write!(f, "inconsistent table: {s}"),
+            ParseError::UnsupportedVersion { got } => write!(
+                f,
+                "unsupported table format version {got} (this library speaks version {})",
+                crate::artifact::FORMAT_VERSION
+            ),
         }
     }
 }

@@ -20,7 +20,11 @@
 //! 4. **Symbolic compilation** — [`regions`], [`relaxation`], [`compiler`]:
 //!    quality regions `Rq` (Proposition 2) and control relaxation regions
 //!    `Rrq` (Proposition 3) pre-computed as integer tables; [`tables`]
-//!    serializes them across the compiler → runtime boundary.
+//!    serializes them as versioned text. Both tables are views over a
+//!    shared [`arena::TableArena`]; [`artifact`] freezes an arena into a
+//!    versioned, checksummed binary whose on-disk layout *is* the
+//!    in-memory layout (load = validate + cast; fleet artifacts dedupe
+//!    identical staircase rows across configs via [`arena::RowStore`]).
 //! 5. **Quality Managers** — [`manager`]: the online controllers — numeric
 //!    (re-computes `tD` per call), lookup (table-driven), and relaxed
 //!    (skips control for `r` steps inside `Rrq`); [`smoothness`] scores
@@ -84,6 +88,8 @@
 pub mod action;
 pub mod analysis;
 pub mod approx;
+pub mod arena;
+pub mod artifact;
 pub mod compiler;
 pub mod controller;
 pub mod elastic;
@@ -112,6 +118,8 @@ pub mod trace;
 /// Convenient glob import for examples and tests.
 pub mod prelude {
     pub use crate::action::{ActionId, ActionInfo, DeadlineMap};
+    pub use crate::arena::{DedupStats, RowStore, TableArena};
+    pub use crate::artifact::{Artifact, ArtifactError, ArtifactView, LoadedTables};
     pub use crate::compiler::{
         compile_regions, compile_regions_parallel, compile_relaxation, compile_relaxation_parallel,
         Compiled, TableStats,

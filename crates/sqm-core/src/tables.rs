@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! SQM-REGIONS v1
+//! format=1
 //! states=3 qualities=2
 //! 120 80
 //! 100 70
@@ -15,6 +16,12 @@
 //!
 //! and for relaxation tables one `L`/`U` pair of lines per state, each with
 //! `|Q|·|ρ|` entries. Infinite bounds are spelled `inf` / `-inf`.
+//!
+//! The `format=` line carries the same version number as the binary
+//! artifact header ([`crate::artifact::FORMAT_VERSION`]) — one version
+//! story for both forms. Parsers accept files without the line (pre-format
+//! emitters) but reject a mismatching version with
+//! [`ParseError::UnsupportedVersion`].
 
 use crate::error::ParseError;
 use crate::quality::QualitySet;
@@ -135,14 +142,34 @@ fn parse_kv(token: &str, key: &str, header: &str) -> Result<usize, ParseError> {
         .ok_or_else(|| ParseError::BadHeader(header.to_string()))
 }
 
+/// Split off the optional `format=N` header line. Absent is accepted
+/// (older emitters); present-but-mismatching is
+/// [`ParseError::UnsupportedVersion`]. Returns the remaining input and
+/// how many header lines were consumed so far (for line-number tracking).
+fn take_format_line(rest: &str) -> Result<(&str, usize), ParseError> {
+    if let Some((line, tail)) = split_line(rest) {
+        if let Some(v) = line.trim().strip_prefix("format=") {
+            let got: u32 = v
+                .parse()
+                .map_err(|_| ParseError::BadHeader(line.to_string()))?;
+            if got != crate::artifact::FORMAT_VERSION {
+                return Err(ParseError::UnsupportedVersion { got });
+            }
+            return Ok((tail, 1));
+        }
+    }
+    Ok((rest, 0))
+}
+
 /// Serialize a quality region table.
 pub fn regions_to_string(t: &QualityRegionTable) -> String {
     let nq = t.qualities().len();
     let mut out = String::new();
     out.push_str("SQM-REGIONS v1\n");
+    let _ = writeln!(out, "format={}", crate::artifact::FORMAT_VERSION);
     let _ = writeln!(out, "states={} qualities={}", t.n_states(), nq);
     for state in 0..t.n_states() {
-        let row = &t.raw()[state * nq..(state + 1) * nq];
+        let row = t.row(state);
         for (i, &v) in row.iter().enumerate() {
             if i > 0 {
                 out.push(' ');
@@ -161,6 +188,7 @@ pub fn regions_from_str(s: &str) -> Result<QualityRegionTable, ParseError> {
     if magic.trim() != "SQM-REGIONS v1" {
         return Err(ParseError::BadHeader(magic.to_string()));
     }
+    let (rest, format_lines) = take_format_line(rest)?;
     let (meta, payload) =
         split_line(rest).ok_or_else(|| ParseError::BadHeader("missing meta".into()))?;
     let mut parts = meta.split_whitespace();
@@ -169,7 +197,7 @@ pub fn regions_from_str(s: &str) -> Result<QualityRegionTable, ParseError> {
     let qualities = QualitySet::new(nq)
         .ok_or_else(|| ParseError::Inconsistent(format!("bad quality count {nq}")))?;
     let mut td = Vec::with_capacity(states * nq);
-    let mut scanner = Scanner::new(payload.as_bytes(), 3);
+    let mut scanner = Scanner::new(payload.as_bytes(), 3 + format_lines);
     while let Some((token, line_no)) = scanner.next_token() {
         td.push(parse_time_bytes(token).ok_or_else(|| bad_time(token, line_no))?);
     }
@@ -186,9 +214,9 @@ pub fn regions_from_str(s: &str) -> Result<QualityRegionTable, ParseError> {
 /// Serialize a relaxation table.
 pub fn relaxation_to_string(t: &RelaxationTable) -> String {
     let nq = t.qualities().len();
-    let nr = t.rho().len();
     let mut out = String::new();
     out.push_str("SQM-RELAX v1\n");
+    let _ = writeln!(out, "format={}", crate::artifact::FORMAT_VERSION);
     let _ = write!(out, "states={} qualities={} rho=", t.n_states(), nq);
     for (i, &r) in t.rho().steps().iter().enumerate() {
         if i > 0 {
@@ -197,10 +225,8 @@ pub fn relaxation_to_string(t: &RelaxationTable) -> String {
         let _ = write!(out, "{r}");
     }
     out.push('\n');
-    let (lower, upper) = t.raw();
     for state in 0..t.n_states() {
-        let range = state * nq * nr..(state + 1) * nq * nr;
-        for (tag, data) in [("L", &lower[range.clone()]), ("U", &upper[range])] {
+        for (tag, data) in [("L", t.lower_row(state)), ("U", t.upper_row(state))] {
             out.push_str(tag);
             for &v in data {
                 out.push(' ');
@@ -220,6 +246,7 @@ pub fn relaxation_from_str(s: &str) -> Result<RelaxationTable, ParseError> {
     if magic.trim() != "SQM-RELAX v1" {
         return Err(ParseError::BadHeader(magic.to_string()));
     }
+    let (rest, format_lines) = take_format_line(rest)?;
     let (meta, mut payload) =
         split_line(rest).ok_or_else(|| ParseError::BadHeader("missing meta".into()))?;
     let mut parts = meta.split_whitespace();
@@ -241,7 +268,7 @@ pub fn relaxation_from_str(s: &str) -> Result<RelaxationTable, ParseError> {
     let expected = states * nq * rho.len();
     let mut lower = Vec::with_capacity(expected);
     let mut upper = Vec::with_capacity(expected);
-    let mut line_no = 2usize;
+    let mut line_no = 2 + format_lines;
     while let Some((line, remainder)) = split_line(payload) {
         payload = remainder;
         line_no += 1;
@@ -384,7 +411,46 @@ mod tests {
         let text = regions_to_string(&t);
         let mut lines = text.lines();
         assert_eq!(lines.next(), Some("SQM-REGIONS v1"));
+        assert_eq!(lines.next(), Some("format=1"));
         assert_eq!(lines.next(), Some("states=3 qualities=3"));
-        assert_eq!(text.lines().count(), 2 + 3);
+        assert_eq!(text.lines().count(), 3 + 3);
+    }
+
+    #[test]
+    fn format_line_is_optional_but_checked() {
+        // Pre-PR-8 files carry no `format=` line; they still parse.
+        let legacy = "SQM-REGIONS v1\nstates=1 qualities=2\n1 2\n";
+        let t = regions_from_str(legacy).unwrap();
+        assert_eq!(t.raw(), &[Time::from_ns(1), Time::from_ns(2)]);
+
+        // A present-but-future version is a typed rejection, not a
+        // misparse of the payload.
+        let future = "SQM-REGIONS v1\nformat=99\nstates=1 qualities=2\n1 2\n";
+        assert_eq!(
+            regions_from_str(future),
+            Err(ParseError::UnsupportedVersion { got: 99 })
+        );
+        // Garbage after `format=` is a header error.
+        assert!(matches!(
+            regions_from_str("SQM-REGIONS v1\nformat=banana\nstates=1 qualities=1\n1\n"),
+            Err(ParseError::BadHeader(_))
+        ));
+
+        // Same story on the relaxation side.
+        let c = compile_all(&sys(), Some(StepSet::new(vec![1, 2]).unwrap()));
+        let relax = c.relaxation.unwrap();
+        let text = relaxation_to_string(&relax);
+        assert!(text.lines().nth(1) == Some("format=1"));
+        let legacy: String = text
+            .lines()
+            .filter(|l| !l.starts_with("format="))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(relaxation_from_str(&legacy).unwrap(), relax);
+        let future = text.replace("format=1", "format=7");
+        assert_eq!(
+            relaxation_from_str(&future),
+            Err(ParseError::UnsupportedVersion { got: 7 })
+        );
     }
 }

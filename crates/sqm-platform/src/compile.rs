@@ -1,0 +1,194 @@
+//! Fleet-scale compilation — many parameterized systems, one artifact.
+//!
+//! A deployment rarely ships *one* config: a codec family is hundreds of
+//! (resolution, bitrate, profile) combinations, each its own
+//! [`ParameterizedSystem`] with its own region table. [`compile_many`]
+//! compiles them all — states chunked over scoped threads, like
+//! [`sqm_core::compiler::compile_regions_parallel`] but across configs
+//! instead of within one — and freezes the whole fleet into a single
+//! pooled [`Artifact`]. Identical staircase rows across configs are
+//! stored once (content-addressed via [`sqm_core::arena::RowStore`]);
+//! the returned [`DedupStats`] quantify the win.
+//!
+//! The output bytes are deterministic: pool order is first-seen in config
+//! submission order, and compilation is a pure function of each system,
+//! so every thread count produces byte-identical artifacts.
+
+use sqm_core::arena::DedupStats;
+use sqm_core::artifact::{Artifact, ArtifactError};
+use sqm_core::compiler::{compile_all, Compiled};
+use sqm_core::relaxation::StepSet;
+use sqm_core::system::ParameterizedSystem;
+
+/// The result of [`compile_many`]: one pooled fleet artifact plus the
+/// dedup accounting behind it.
+#[derive(Clone, Debug)]
+pub struct FleetArtifact {
+    /// The encoded fleet artifact — feed to
+    /// [`Artifact::load`](sqm_core::artifact::Artifact::load) or
+    /// [`ArtifactView::new`](sqm_core::artifact::ArtifactView::new).
+    pub bytes: Vec<u8>,
+    /// Row-dedup accounting across the fleet.
+    pub stats: DedupStats,
+}
+
+/// Compile every system in `systems` (each with relaxation tables over
+/// `rho`, when given) across `threads` scoped worker threads and encode
+/// the results as one pooled fleet artifact.
+///
+/// All systems must share one quality set (and all get the same step
+/// menu), or the encoder reports
+/// [`ArtifactError::MixedFleet`]; an empty slice is
+/// [`ArtifactError::EmptyFleet`]. State counts may differ freely.
+///
+/// Byte-identical output for every `threads` value — parallelism is
+/// purely a wall-clock lever.
+///
+/// # Examples
+///
+/// ```
+/// use sqm_core::artifact::Artifact;
+/// use sqm_core::system::SystemBuilder;
+/// use sqm_core::time::Time;
+/// use sqm_platform::compile::compile_many;
+///
+/// // A "fleet" of 8 configs drawn from 2 distinct classes.
+/// let systems: Vec<_> = (0..8)
+///     .map(|i| {
+///         let slack = 100 + (i % 2) * 40;
+///         SystemBuilder::new(3)
+///             .action("a", &[10, 25, 40], &[4, 9, 14])
+///             .action("b", &[12, 22, 35], &[6, 11, 17])
+///             .deadline_last(Time::from_ns(slack))
+///             .build()
+///             .unwrap()
+///     })
+///     .collect();
+///
+/// let fleet = compile_many(&systems, None, 4).unwrap();
+/// assert_eq!(fleet.stats.configs, 8);
+/// // 2 distinct classes → only 2 configs' worth of unique rows.
+/// assert!(fleet.stats.ratio() > 1.0);
+///
+/// let loaded = Artifact::load(&fleet.bytes).unwrap();
+/// assert_eq!(loaded.n_configs(), 8);
+/// ```
+pub fn compile_many(
+    systems: &[ParameterizedSystem],
+    rho: Option<&StepSet>,
+    threads: usize,
+) -> Result<FleetArtifact, ArtifactError> {
+    let threads = threads.clamp(1, systems.len().max(1));
+    let mut compiled: Vec<Option<Compiled>> = (0..systems.len()).map(|_| None).collect();
+    if threads == 1 {
+        for (sys, slot) in systems.iter().zip(compiled.iter_mut()) {
+            *slot = Some(compile_all(sys, rho.cloned()));
+        }
+    } else {
+        let chunk = systems.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (sys_chunk, slot_chunk) in systems.chunks(chunk).zip(compiled.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (sys, slot) in sys_chunk.iter().zip(slot_chunk.iter_mut()) {
+                        *slot = Some(compile_all(sys, rho.cloned()));
+                    }
+                });
+            }
+        });
+    }
+    let compiled: Vec<Compiled> = compiled
+        .into_iter()
+        .map(|c| c.expect("every chunk compiled"))
+        .collect();
+    let configs: Vec<_> = compiled
+        .iter()
+        .map(|c| (&c.regions, c.relaxation.as_ref()))
+        .collect();
+    let (bytes, stats) = Artifact::encode_fleet(&configs)?;
+    Ok(FleetArtifact { bytes, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqm_core::compiler::compile_regions;
+    use sqm_core::system::SystemBuilder;
+    use sqm_core::time::Time;
+
+    fn class(slack: i64, scale: i64) -> ParameterizedSystem {
+        SystemBuilder::new(3)
+            .action("a", &[10 * scale, 25 * scale, 40 * scale], &[4, 9, 14])
+            .action("b", &[12 * scale, 22 * scale, 35 * scale], &[6, 11, 17])
+            .action("c", &[8 * scale, 18 * scale, 28 * scale], &[3, 8, 12])
+            .deadline_last(Time::from_ns(slack))
+            .build()
+            .unwrap()
+    }
+
+    fn fleet(n: usize) -> Vec<ParameterizedSystem> {
+        // n configs drawn from 3 distinct classes → heavy row sharing.
+        (0..n)
+            .map(|i| class(110 + (i % 3) as i64 * 30, 1))
+            .collect()
+    }
+
+    #[test]
+    fn byte_identical_across_thread_counts() {
+        let systems = fleet(13);
+        let rho = StepSet::new(vec![1, 2, 4]).unwrap();
+        let serial = compile_many(&systems, Some(&rho), 1).unwrap();
+        for threads in [2, 4, 7] {
+            let parallel = compile_many(&systems, Some(&rho), threads).unwrap();
+            assert_eq!(serial.bytes, parallel.bytes, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn dedup_collapses_repeated_classes() {
+        let f = compile_many(&fleet(30), None, 4).unwrap();
+        assert_eq!(f.stats.configs, 30);
+        // 3 classes × 3 states = at most 9 unique rows for 90 raw.
+        assert_eq!(f.stats.raw_rows, 90);
+        assert!(f.stats.unique_rows <= 9, "got {}", f.stats.unique_rows);
+        assert!(f.stats.ratio() > 2.0);
+    }
+
+    #[test]
+    fn loaded_fleet_decides_like_direct_compilation() {
+        let systems = fleet(6);
+        let rho = StepSet::new(vec![1, 2]).unwrap();
+        let f = compile_many(&systems, Some(&rho), 3).unwrap();
+        let loaded = Artifact::load(&f.bytes).unwrap();
+        assert_eq!(loaded.n_configs(), systems.len());
+        for (sys, tables) in systems.iter().zip(loaded.into_tables()) {
+            let direct = compile_regions(sys);
+            assert_eq!(tables.regions, direct);
+            for state in 0..direct.n_states() {
+                for t in [-50, 0, 7, 33, 200] {
+                    assert_eq!(
+                        tables.regions.choose(state, Time::from_ns(t)),
+                        direct.choose(state, Time::from_ns(t))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_and_empty_fleets_are_typed_errors() {
+        assert!(matches!(
+            compile_many(&[], None, 4),
+            Err(ArtifactError::EmptyFleet)
+        ));
+        let odd = SystemBuilder::new(2)
+            .action("a", &[10, 20], &[4, 9])
+            .deadline_last(Time::from_ns(60))
+            .build()
+            .unwrap();
+        let systems = vec![class(110, 1), odd];
+        assert!(matches!(
+            compile_many(&systems, None, 2),
+            Err(ArtifactError::MixedFleet(_))
+        ));
+    }
+}

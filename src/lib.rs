@@ -28,6 +28,14 @@
 //!   queue with overload policies and backlog/latency aggregates. A
 //!   periodic source under the `Block` policy is byte-identical to the
 //!   closed loop.
+//! * `core::arena` + `core::artifact` — the artifact layer: every
+//!   compiled table is a view over one shared cell arena, and the binary
+//!   artifact freezes that arena behind a versioned, checksummed header
+//!   whose on-disk layout *is* the in-memory layout — loading validates
+//!   and casts, parsing nothing. Fleet artifacts dedupe identical rows
+//!   across configs ([`core::arena::RowStore`]); `platform::compile`'s
+//!   [`platform::compile::compile_many`] compiles whole config fleets
+//!   into one such artifact over scoped threads.
 //! * [`platform`] — a virtual execution platform (virtual clock, stochastic
 //!   execution-time models bounded by `Cwc`, profiler, calibrated QM
 //!   overhead models), plus what goes wrong on real hardware:
@@ -84,7 +92,10 @@
 //! streams, streams/sec and ns/action versus worker count) and
 //! `… --bin bench_faults` the robustness point (differential-fuzzing
 //! oracle throughput and online-recalibration latency; `… --bin
-//! fuzz_smoke` is the CI sweep of the same campaign) next to them.
+//! fuzz_smoke` is the CI sweep of the same campaign) and
+//! `… --bin bench_coldstart` the artifact-layer point (serialized bytes →
+//! first decision, text parse vs binary cast, single config vs
+//! 1000-config deduplicated fleet) next to them.
 //!
 //! ## Quickstart
 //!

@@ -3,7 +3,7 @@
 //! live mid-run table swap.
 //!
 //! The harness itself lives in `sqm_bench::fuzz` (generators, the
-//! four-part oracle, minimizer, repro formatting); this test sweeps
+//! five-part oracle, minimizer, repro formatting); this test sweeps
 //! enough seeds to clear the 1000 system×scenario×path cases the
 //! campaign promises locally (CI runs the smaller `fuzz_smoke` binary).
 
