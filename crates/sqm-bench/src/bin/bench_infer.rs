@@ -1,0 +1,226 @@
+//! Emit `BENCH_infer.json` — the inference-serving point of the
+//! workspace's performance trajectory, next to `BENCH_elastic.json`.
+//!
+//! The workload is the batch-coupled serving pipeline (`sqm-infer`):
+//! prefill/decode phase split, continuous-batching decode coupling, and
+//! p99/p999 SLO deadline classes. Reported:
+//!
+//! * worst-case SLO slack per deadline class over a closed serving run
+//!   (how much of the p99/p999 budget the manager leaves on the table);
+//! * a scaling ladder of 1k/10k/100k concurrent live request streams
+//!   through the elastic scheduler — host wall-clock (median of 5),
+//!   decisions/sec — plus the shed rate of the same rung under 4×
+//!   overload with a fleet-wide admission cap.
+//!
+//! Correctness gates run before anything is published, and a failed gate
+//! aborts without writing the artifact:
+//!
+//! * Periodic + `Block` streaming must be **byte-identical** to the
+//!   closed loop under both chainings (the batch coupling is stateful —
+//!   identity proves the state replays exactly);
+//! * the fleet drive must match its serial fold at 1/2/4 workers;
+//! * every elastic rung must be byte-identical to its 1-worker run, and
+//!   the 1-worker run must match the serial `StreamingRunner` + `Block`
+//!   fold, `max_backlog` included;
+//! * every shed rung's ledger must balance, identically across workers.
+//!
+//! ```text
+//! cargo run -p sqm-bench --release --bin bench_infer [out.json]
+//! ```
+
+use std::time::Instant;
+
+use sqm_bench::{InferExperiment, Workload};
+use sqm_core::elastic::{Admission, ElasticConfig};
+use sqm_core::engine::{CycleChaining, NullSink};
+use sqm_core::source::Periodic;
+use sqm_core::stream::{OverloadPolicy, StreamConfig};
+use sqm_core::trace::Trace;
+use sqm_infer::SloClass;
+
+fn median_of_5(mut sample: impl FnMut() -> f64) -> f64 {
+    let mut samples: Vec<f64> = (0..5).map(|_| sample()).collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_infer.json".to_string());
+
+    // ---- Gate 1: streaming ≡ closed loop, both chainings. --------------
+    let tiny = InferExperiment::tiny(7);
+    for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
+        let closed = tiny.run_closed(4, chaining, tiny.jitter(), 11, &mut NullSink);
+        let streamed = tiny.run_streaming(
+            StreamConfig {
+                chaining,
+                capacity: 2,
+                policy: OverloadPolicy::Block,
+            },
+            &mut Periodic::new(tiny.period(), 4),
+            tiny.jitter(),
+            11,
+            &mut NullSink,
+        );
+        assert_eq!(
+            streamed.run, closed,
+            "batch coupling must replay identically under {chaining:?}"
+        );
+    }
+    println!("identity check: streaming == closed loop, both chainings ✓");
+
+    // ---- Gate 2: fleet ≡ serial fold at every worker count. ------------
+    let specs = tiny.streaming_specs(8, 2);
+    let serial = tiny.run_serial(&specs);
+    for workers in [1usize, 2, 4] {
+        assert_eq!(
+            serial,
+            tiny.run_fleet(&specs, workers),
+            "fleet(workers={workers}) must match the serial fold"
+        );
+    }
+    println!("identity check: fleet(1/2/4 workers) == serial fold ✓");
+
+    // ---- SLO slack over a closed serving run (small config). -----------
+    let small = InferExperiment::small(3);
+    let mut trace = Trace::default();
+    let run = small.run_closed(
+        16,
+        CycleChaining::ArrivalClamped,
+        small.jitter(),
+        11,
+        &mut trace,
+    );
+    assert_eq!(run.misses, 0, "the SLO run must be miss-free");
+    let pipeline = small.pipeline();
+    let deadlines = pipeline.system().deadlines();
+    let mut interactive_worst = i64::MAX;
+    let mut bulk_worst = i64::MAX;
+    for cycle in &trace.cycles {
+        for r in &cycle.records {
+            let Some(deadline) = deadlines.get(r.action) else {
+                continue;
+            };
+            let slack = (deadline - r.end).as_ns();
+            match pipeline.slo_of(r.action) {
+                SloClass::Interactive => interactive_worst = interactive_worst.min(slack),
+                SloClass::Bulk => bulk_worst = bulk_worst.min(slack),
+            }
+        }
+    }
+    assert!(
+        interactive_worst >= 0 && bulk_worst >= 0,
+        "miss-free run cannot have negative slack"
+    );
+    println!(
+        "SLO slack over {} cycles: interactive p99 worst {} ns, bulk p999 worst {} ns, \
+         avg quality {:.2}",
+        run.cycles,
+        interactive_worst,
+        bulk_worst,
+        run.avg_quality()
+    );
+
+    // ---- Scaling ladder: 1k/10k/100k live request streams. -------------
+    let frames = 2;
+    let config = ElasticConfig::live().with_ring_capacity(4096);
+    let mut entries = Vec::new();
+    for streams in [1_000usize, 10_000, 100_000] {
+        let reference = tiny.run_elastic(1, config, streams, frames);
+        assert_eq!(reference.n_streams(), streams);
+        assert_eq!(
+            reference.stats().processed,
+            streams * frames,
+            "unbounded admission executes every batch"
+        );
+        let serial = tiny.serial_elastic_reference(config, streams, frames);
+        assert_eq!(
+            reference.per_stream(),
+            &serial[..],
+            "elastic(1) must match the serial streaming fold at {streams} streams"
+        );
+        let out = tiny.run_elastic(2, config, streams, frames);
+        assert_eq!(out, reference, "elastic(2) diverged at {streams} streams");
+        let actions = reference.run().actions;
+        let host_ns = median_of_5(|| {
+            let t0 = Instant::now();
+            let out = tiny.run_elastic(2, config, streams, frames);
+            let ns = t0.elapsed().as_nanos() as f64;
+            assert_eq!(out, reference, "{streams} streams diverged mid-measurement");
+            ns
+        });
+        let decisions_per_sec = actions as f64 / (host_ns / 1e9);
+
+        // The same rung under 4x overload with a fleet-wide admission
+        // cap. The shed run carries 4 frames per stream (vs the ladder's
+        // 2): a stream can then fall up to 3 batches behind, so the
+        // aggregate backlog genuinely crosses the global capacity.
+        let shed_frames = 4;
+        let shed_config = ElasticConfig::live()
+            .with_ring_capacity(4096)
+            .with_admission(Admission::DropNewest {
+                global_capacity: streams / 2,
+            });
+        let shed = tiny.run_elastic(1, shed_config, streams, shed_frames);
+        let ledger = *shed.ledger();
+        assert!(ledger.shed > 0, "4x overload must shed: {ledger:?}");
+        assert_eq!(ledger.admitted + ledger.shed, ledger.arrived);
+        assert_eq!(shed.stats().dropped, ledger.shed);
+        assert_eq!(
+            tiny.run_elastic(2, shed_config, streams, shed_frames),
+            shed,
+            "shedding must be deterministic at {streams} streams"
+        );
+        let shed_rate = ledger.shed as f64 / ledger.arrived as f64;
+        println!(
+            "streams {streams}: host {host_ns:.0} ns (median of 5), \
+             {decisions_per_sec:.0} decisions/sec, shed rate {:.3} under 4x overload",
+            shed_rate
+        );
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"streams\": {},\n",
+                "      \"host_wall_ns\": {:.0},\n",
+                "      \"decisions_per_sec\": {:.0},\n",
+                "      \"overload_shed_rate\": {:.4},\n",
+                "      \"overload_peak_backlog\": {}\n",
+                "    }}"
+            ),
+            streams, host_ns, decisions_per_sec, shed_rate, ledger.peak_backlog,
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"speed-qm/bench-infer/v1\",\n",
+            "  \"config\": \"InferExperiment: batch-coupled prefill/decode serving, tiny batches on the elastic ladder, small batches for the SLO run\",\n",
+            "  \"note\": \"host numbers are machine-dependent medians of 5 (track deltas, not absolutes); results are byte-identical across execution paths by construction\",\n",
+            "  \"streaming_matches_closed_loop\": true,\n",
+            "  \"fleet_matches_serial_fold\": true,\n",
+            "  \"elastic_matches_serial_streaming_fold\": true,\n",
+            "  \"slo\": {{\n",
+            "    \"cycles\": {},\n",
+            "    \"deadline_misses\": {},\n",
+            "    \"avg_quality\": {:.3},\n",
+            "    \"interactive_p99_worst_slack_ns\": {},\n",
+            "    \"bulk_p999_worst_slack_ns\": {}\n",
+            "  }},\n",
+            "  \"scaling\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        run.cycles,
+        run.misses,
+        run.avg_quality(),
+        interactive_worst,
+        bulk_worst,
+        entries.join(",\n"),
+    );
+
+    std::fs::write(&out_path, &json).expect("write infer bench json");
+    println!("wrote {out_path}");
+    print!("{json}");
+}

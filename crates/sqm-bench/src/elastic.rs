@@ -17,10 +17,10 @@
 //! * `elastic(W)` must be **byte-identical** to `elastic(1)` for every
 //!   measured worker count;
 //! * under [`Admission::Unbounded`](sqm_core::elastic::Admission) the
-//!   per-stream results must match a
-//!   serial [`StreamingRunner`] + `Block` fold (modulo the
-//!   scheduler-granular `max_backlog`, see `sqm_core::elastic`'s module
-//!   docs).
+//!   per-stream results must match a serial [`StreamingRunner`] + `Block`
+//!   fold byte-for-byte, `max_backlog` included (the scheduler's shadow
+//!   account re-derives it at admission granularity, see
+//!   `sqm_core::elastic`'s module docs).
 
 use sqm_core::compiler::compile_regions;
 use sqm_core::controller::{ExecutionTimeSource, OverheadModel};
@@ -171,8 +171,7 @@ impl ElasticExperiment {
 
     /// The serial reference under unbounded admission: each stream alone
     /// through [`StreamingRunner`] + `Block`, in submission order. The
-    /// elastic per-stream results must equal this fold modulo
-    /// `max_backlog` (which [`normalize_backlog`] zeroes on both sides).
+    /// elastic per-stream results must equal this fold byte-for-byte.
     pub fn serial_reference(&self, config: ElasticConfig) -> Vec<StreamSummary> {
         (0..self.streams)
             .map(|i| {
@@ -196,20 +195,6 @@ impl ElasticExperiment {
     }
 }
 
-/// Zero `max_backlog` in a per-stream summary slice so paths that observe
-/// backlog at different granularities (scheduler rounds vs per-stream
-/// pulls) can be compared byte-for-byte on everything else.
-pub fn normalize_backlog(per_stream: &[StreamSummary]) -> Vec<StreamSummary> {
-    per_stream
-        .iter()
-        .map(|s| {
-            let mut s = *s;
-            s.stats.max_backlog = 0;
-            s
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,10 +211,7 @@ mod tests {
             assert_eq!(exp.run(workers, config), reference, "workers = {workers}");
         }
         let serial = exp.serial_reference(config);
-        assert_eq!(
-            normalize_backlog(reference.per_stream()),
-            normalize_backlog(&serial)
-        );
+        assert_eq!(reference.per_stream(), &serial[..]);
     }
 
     #[test]

@@ -32,6 +32,15 @@
 //!    of the bytes are always rejected with a typed error — header
 //!    damage by its specific check, payload damage by the checksum.
 //!
+//! Alongside the generated product space, every case also drives the
+//! **inference axis**: the batch-coupled serving pipeline
+//! (`sqm_infer::BatchCoupledExec`, whose execution source carries
+//! *shared state* — the per-cycle batch account) through the identity
+//! and monotonicity oracle parts. Fast-path byte-identity there proves
+//! the continuous-batching state machine replays exactly, and the
+//! coupling law is probed directly: admitting co-batched requests at a
+//! deeper rung must never shorten another request's decode.
+//!
 //! A **case** is one system × scenario × path invocation; [`run_case`]
 //! runs all paths for one generated pair and returns how many it
 //! executed. [`run_campaign`] sweeps seeds and, on the first oracle
@@ -440,6 +449,14 @@ impl ArrivalSource for AnySource {
             AnySource::Bursty(s) => s.peek(),
         }
     }
+
+    fn exhaustion(&self) -> sqm_core::source::Exhaustion {
+        match self {
+            AnySource::Periodic(s) => s.exhaustion(),
+            AnySource::Jittered(s) => s.exhaustion(),
+            AnySource::Bursty(s) => s.exhaustion(),
+        }
+    }
 }
 
 /// The fault/drift scenario one case runs under.
@@ -719,7 +736,7 @@ pub fn run_case(case: &FuzzCase) -> Result<usize, Violation> {
             .map(|i| {
                 let mut engine = Engine::new(&sys, LookupManager::new(&regions), OVERHEAD);
                 let mut exec = scenario.fault.with_seed_offset(i).exec(sys.table());
-                let mut s = StreamingRunner::new(StreamConfig {
+                StreamingRunner::new(StreamConfig {
                     chaining: scenario.chaining,
                     capacity: 2,
                     policy: OverloadPolicy::Block,
@@ -729,24 +746,13 @@ pub fn run_case(case: &FuzzCase) -> Result<usize, Violation> {
                     &mut Periodic::new(period, scenario.cycles),
                     &mut exec,
                     &mut NullSink,
-                );
-                s.stats.max_backlog = 0;
-                s
+                )
             })
             .collect();
         paths += 1;
-        let flattened: Vec<StreamSummary> = elastic_one
-            .per_stream()
-            .iter()
-            .map(|s| {
-                let mut s = *s;
-                s.stats.max_backlog = 0;
-                s
-            })
-            .collect();
         oracle_eq!(
             "identity",
-            flattened,
+            elastic_one.per_stream().to_vec(),
             serial_streams,
             "elastic per-stream != streaming fold"
         );
@@ -883,7 +889,109 @@ pub fn run_case(case: &FuzzCase) -> Result<usize, Violation> {
     // ── Oracle 5: artifact round-trip + corruption rejection ────────
     paths += check_artifact(case, &sys, &regions)?;
 
+    // ── Inference axis: the stateful batch-coupled source ───────────
+    paths += check_infer(case)?;
+
     Ok(paths)
+}
+
+/// Inference axis: the batch-coupled serving workload (`sqm-infer`)
+/// through the identity and monotonicity oracles. Unlike the generated
+/// table-driven sources above, [`sqm_infer::BatchCoupledExec`] carries
+/// shared mutable state (the per-cycle batch account), so byte-identity
+/// here proves the continuous-batching state machine replays exactly on
+/// the fast paths — and the coupling law is probed directly through the
+/// public [`ExecutionTimeSource`] surface.
+fn check_infer(case: &FuzzCase) -> Result<usize, Violation> {
+    use sqm_infer::{InferConfig, InferPipeline};
+
+    let scenario = &case.scenario;
+    let seed = case.seed ^ 0x1f2e_3d4c_5b6a_7988;
+    let jitter = 0.05;
+    let infer = InferPipeline::new(InferConfig::tiny(seed)).expect("tiny config is feasible");
+    let sys = infer.system();
+    let regions = compile_regions(sys);
+    let period = infer.config().batch_period();
+    let cycles = scenario.cycles;
+
+    // Identity: naive vs hot vs Periodic+Block streaming, each over a
+    // fresh batch-coupled source with the same seed. The batch account
+    // resets at action 0 of every cycle, so an exact replay is the
+    // contract — any divergence means the shared state leaked across a
+    // path boundary.
+    let mut naive_trace = Trace::default();
+    let naive = Engine::new(sys, LookupManager::new(&regions), OVERHEAD).run_cycles(
+        cycles,
+        period,
+        scenario.chaining,
+        &mut infer.exec(jitter, seed),
+        &mut naive_trace,
+    );
+    let mut hot_trace = Trace::default();
+    let hot = Engine::new(sys, HotLookupManager::new(&regions), OVERHEAD).run_cycles(
+        cycles,
+        period,
+        scenario.chaining,
+        &mut infer.exec(jitter, seed),
+        &mut hot_trace,
+    );
+    oracle_eq!("identity", hot, naive, "infer: hot summary != naive");
+    for (a, b) in naive_trace.cycles.iter().zip(&hot_trace.cycles) {
+        oracle_eq!(
+            "identity",
+            b.records,
+            a.records,
+            "infer: hot records != naive"
+        );
+    }
+    let mut engine = Engine::new(sys, LookupManager::new(&regions), OVERHEAD);
+    let streamed = StreamingRunner::new(StreamConfig {
+        chaining: scenario.chaining,
+        capacity: 2,
+        policy: OverloadPolicy::Block,
+    })
+    .run(
+        &mut engine,
+        &mut Periodic::new(period, cycles),
+        &mut infer.exec(jitter, seed),
+        &mut NullSink,
+    );
+    oracle_eq!(
+        "identity",
+        streamed.run,
+        naive,
+        "infer: streaming != serial"
+    );
+
+    // Monotonicity: two draw-aligned sources walk the full action
+    // sequence; the *deep* run admits every co-batched request at the
+    // top rung, the *shallow* run at the bottom, and the probed final
+    // decode runs at the top rung in both. The source draws exactly one
+    // jitter sample per call, so the sequences stay aligned, and the
+    // mean admitted depth never exceeds the probe's own depth, so the
+    // `Cwc` clamp cannot mask a shortened decode.
+    let n_actions = sys.n_actions();
+    let target = n_actions - 1; // the final decode sees every admission
+    let qmax = Quality::new(infer.ladder().len() as u8 - 1);
+    let qmin = Quality::new(0);
+    let mut shallow = infer.exec(jitter, seed);
+    let mut deep = infer.exec(jitter, seed);
+    for cycle in 0..cycles {
+        for action in 0..n_actions {
+            let q_shallow = if action == target { qmax } else { qmin };
+            let t_shallow = shallow.actual(cycle, action, q_shallow);
+            let t_deep = deep.actual(cycle, action, qmax);
+            if action == target {
+                oracle!(
+                    "monotonicity",
+                    t_deep >= t_shallow,
+                    "deeper co-batch shortened the decode at cycle {cycle}: \
+                     {t_deep:?} < {t_shallow:?}"
+                );
+            }
+        }
+    }
+    Ok(4)
 }
 
 /// Oracle part 5: the binary artifact is lossless for this case's

@@ -1,0 +1,415 @@
+//! Inference harness: the serving workload behind the uniform
+//! [`Workload`] seam, plus the SLO scenario menu the `bench_infer` binary
+//! and `benches/infer.rs` share.
+//!
+//! An [`InferExperiment`] compiles the batch's quality regions **once**
+//! and serves every path from them — closed loop, event-driven streaming,
+//! fleet sharding, and the elastic scheduler. The serving regime combines
+//! the other workloads' stress axes: requests arrive in **bursts** (a
+//! chat burst, a batch-job submission), overload is answered by
+//! **admission control** ([`OverloadPolicy::DropNewest`] per stream,
+//! [`sqm_core::elastic::Admission::DropNewest`] fleet-wide), and — unique
+//! to this domain — execution times are **coupled across the batch**
+//! through [`sqm_infer::BatchCoupledExec`], so identity across execution
+//! paths exercises the engine seam's statefulness, not just its
+//! arithmetic.
+
+use sqm_core::compiler::compile_regions;
+use sqm_core::elastic::{Admission, ElasticConfig, ElasticRunner, ElasticSummary, EngineDriver};
+use sqm_core::engine::{CycleChaining, Engine, NullSink};
+use sqm_core::fleet::{FleetRunner, FleetSummary, StreamScratch, StreamSpec};
+use sqm_core::manager::LookupManager;
+use sqm_core::regions::QualityRegionTable;
+use sqm_core::source::{ArrivalSpec, Bursty, Jittered, PatternSource, Periodic};
+use sqm_core::stream::{OverloadPolicy, StreamConfig, StreamSummary, StreamingRunner};
+use sqm_core::system::ParameterizedSystem;
+use sqm_core::time::Time;
+use sqm_infer::{BatchCoupledExec, InferConfig, InferPipeline};
+
+use crate::streaming::StreamScenario;
+use crate::workload::Workload;
+
+/// The per-stream driver type every elastic inference stream runs: the
+/// symbolic lookup manager over the shared region table, fed by the
+/// batch-coupled execution source.
+pub type InferDriver<'a> = EngineDriver<'a, LookupManager<'a>, BatchCoupledExec<'a>, NullSink>;
+
+/// The inference-serving experiment: batch pipeline + compiled quality
+/// regions.
+pub struct InferExperiment {
+    infer: InferPipeline,
+    regions: QualityRegionTable,
+    jitter: f64,
+}
+
+impl InferExperiment {
+    /// Build a serving batch and compile its quality regions.
+    pub fn new(config: InferConfig) -> InferExperiment {
+        let infer = InferPipeline::new(config).expect("infer config is feasible at qmin");
+        let regions = compile_regions(infer.system());
+        InferExperiment {
+            infer,
+            regions,
+            jitter: 0.1,
+        }
+    }
+
+    /// The CI-scale setup ([`InferConfig::small`]: 16-request batches).
+    pub fn small(seed: u64) -> InferExperiment {
+        InferExperiment::new(InferConfig::small(seed))
+    }
+
+    /// The test-scale setup ([`InferConfig::tiny`]: 4-request batches).
+    pub fn tiny(seed: u64) -> InferExperiment {
+        InferExperiment::new(InferConfig::tiny(seed))
+    }
+
+    /// The wrapped pipeline.
+    pub fn pipeline(&self) -> &InferPipeline {
+        &self.infer
+    }
+
+    /// The content-jitter fraction the experiment's own entry points use
+    /// (the uniform [`Workload`] seam threads jitter explicitly instead).
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// The live configuration of the serving regime: arrival-clamped
+    /// starts (a request cannot be served before it arrives), a
+    /// `capacity`-deep admission queue, drop-newest admission control.
+    pub fn serve_config(&self, capacity: usize) -> StreamConfig {
+        StreamConfig {
+            chaining: CycleChaining::ArrivalClamped,
+            capacity,
+            policy: OverloadPolicy::DropNewest,
+        }
+    }
+
+    /// A spec list in the serving regime: mostly bursty arrivals (three
+    /// streams in four; the fourth is periodic as the control group), one
+    /// seed per stream.
+    pub fn streaming_specs(&self, streams: usize, cycles: usize) -> Vec<StreamSpec<()>> {
+        (0..streams)
+            .map(|i| {
+                let arrival = if i % 4 == 3 {
+                    ArrivalSpec::Periodic
+                } else {
+                    ArrivalSpec::Bursty { max_burst: 6 }
+                };
+                StreamSpec::new((), 1_700 + i as u64, cycles).with_arrival(arrival)
+            })
+            .collect()
+    }
+
+    /// Shard `specs` over `workers` threads under [`Self::serve_config`].
+    pub fn run_fleet(&self, specs: &[StreamSpec<()>], workers: usize) -> FleetSummary {
+        let config = self.serve_config(4);
+        FleetRunner::new(workers).run(specs, |spec, scratch| {
+            self.run_spec(config, spec, self.jitter, scratch)
+        })
+    }
+
+    /// The serial reference every [`Self::run_fleet`] result must equal.
+    pub fn run_serial(&self, specs: &[StreamSpec<()>]) -> FleetSummary {
+        let config = self.serve_config(4);
+        let mut scratch = StreamScratch::default();
+        FleetSummary::from_streams(
+            specs
+                .iter()
+                .map(|spec| {
+                    scratch.records.clear();
+                    self.run_spec(config, spec, self.jitter, &mut scratch)
+                })
+                .collect(),
+        )
+    }
+
+    /// The scenario menu `bench_infer` reports: nominal-rate traffic
+    /// under admission control (the serving regime), and a 1.43×
+    /// overloaded burst train under each shedding policy.
+    pub fn scenarios() -> Vec<StreamScenario> {
+        vec![
+            StreamScenario {
+                name: "periodic/block",
+                arrival: ArrivalSpec::Periodic,
+                period_pct: 100,
+                capacity: 8,
+                policy: OverloadPolicy::Block,
+            },
+            StreamScenario {
+                name: "bursty6/drop-newest",
+                arrival: ArrivalSpec::Bursty { max_burst: 6 },
+                period_pct: 100,
+                capacity: 8,
+                policy: OverloadPolicy::DropNewest,
+            },
+            StreamScenario {
+                name: "bursty6-overload/block",
+                arrival: ArrivalSpec::Bursty { max_burst: 6 },
+                period_pct: 70,
+                capacity: 4,
+                policy: OverloadPolicy::Block,
+            },
+            StreamScenario {
+                name: "bursty6-overload/drop-newest",
+                arrival: ArrivalSpec::Bursty { max_burst: 6 },
+                period_pct: 70,
+                capacity: 4,
+                policy: OverloadPolicy::DropNewest,
+            },
+            StreamScenario {
+                name: "bursty6-overload/skip-to-latest",
+                arrival: ArrivalSpec::Bursty { max_burst: 6 },
+                period_pct: 70,
+                capacity: 4,
+                policy: OverloadPolicy::SkipToLatest,
+            },
+        ]
+    }
+
+    /// Run one scenario for `batches` arrivals, live-clamped.
+    pub fn run_scenario(
+        &self,
+        scenario: &StreamScenario,
+        batches: usize,
+        seed: u64,
+    ) -> StreamSummary {
+        let mut source = scenario.source(self.period(), batches, seed);
+        self.run_streaming(
+            StreamConfig {
+                chaining: CycleChaining::ArrivalClamped,
+                capacity: scenario.capacity,
+                policy: scenario.policy,
+            },
+            &mut source,
+            self.jitter,
+            seed,
+            &mut NullSink,
+        )
+    }
+
+    /// Stream `i`'s arrival source for the elastic population.
+    /// `overload_factor > 1` compresses the inter-arrival period by that
+    /// factor, driving the fleet past sustainability for shed scenarios.
+    pub fn elastic_source(&self, i: usize, frames: usize, overload_factor: i64) -> PatternSource {
+        let period = Time::from_ns(self.period().as_ns() / overload_factor.max(1));
+        match i % 3 {
+            0 => PatternSource::Periodic(Periodic::new(period, frames)),
+            1 => PatternSource::Jittered(Jittered::new(
+                period,
+                Time::from_ns(period.as_ns() / 4),
+                frames,
+                7 + i as u64,
+            )),
+            _ => PatternSource::Bursty(Bursty::new(period, 4, frames, 11 + i as u64)),
+        }
+    }
+
+    /// A population of `streams` live serving streams with `frames`
+    /// batches each, ready for [`ElasticRunner::run`]: every stream runs
+    /// the lookup manager against the one shared region table with its
+    /// own batch-coupled execution source.
+    pub fn elastic_population(
+        &self,
+        streams: usize,
+        frames: usize,
+        overload_factor: i64,
+    ) -> Vec<(PatternSource, InferDriver<'_>)> {
+        (0..streams)
+            .map(|i| {
+                (
+                    self.elastic_source(i, frames, overload_factor),
+                    EngineDriver::new(
+                        Engine::new(
+                            self.infer.system(),
+                            LookupManager::new(&self.regions),
+                            self.overhead(),
+                        ),
+                        self.infer.exec(self.jitter, 1_000 + i as u64),
+                        NullSink,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    /// Run the population elastically on `workers` workers (4× overload
+    /// when the config sheds, nominal rate otherwise).
+    pub fn run_elastic(
+        &self,
+        workers: usize,
+        config: ElasticConfig,
+        streams: usize,
+        frames: usize,
+    ) -> ElasticSummary {
+        let overload = match config.admission {
+            Admission::Unbounded => 1,
+            Admission::DropNewest { .. } => 4,
+        };
+        ElasticRunner::new(workers, config)
+            .run(self.elastic_population(streams, frames, overload))
+            .0
+    }
+
+    /// The serial reference under unbounded admission: each stream alone
+    /// through [`StreamingRunner`] + `Block`, in submission order. The
+    /// elastic per-stream results must equal this fold byte-for-byte,
+    /// `max_backlog` included.
+    pub fn serial_elastic_reference(
+        &self,
+        config: ElasticConfig,
+        streams: usize,
+        frames: usize,
+    ) -> Vec<StreamSummary> {
+        (0..streams)
+            .map(|i| {
+                StreamingRunner::new(StreamConfig {
+                    chaining: config.chaining,
+                    capacity: 2,
+                    policy: OverloadPolicy::Block,
+                })
+                .run(
+                    &mut Engine::new(
+                        self.infer.system(),
+                        LookupManager::new(&self.regions),
+                        self.overhead(),
+                    ),
+                    &mut self.elastic_source(i, frames, 1),
+                    &mut self.infer.exec(self.jitter, 1_000 + i as u64),
+                    &mut NullSink,
+                )
+            })
+            .collect()
+    }
+}
+
+impl Workload for InferExperiment {
+    type Exec<'a> = BatchCoupledExec<'a>;
+
+    fn label(&self) -> &'static str {
+        "infer/regions"
+    }
+
+    /// The serving scheduler runs on a host core next to the accelerator,
+    /// not the embedded core the default calibration models: per-decision
+    /// cost is rescaled so managing a 60–900 µs phase costs ~1 %, not
+    /// ~20 %.
+    fn overhead(&self) -> sqm_core::controller::OverheadModel {
+        sqm_platform::overhead::infer_regions()
+    }
+
+    fn system(&self) -> &ParameterizedSystem {
+        self.infer.system()
+    }
+
+    fn period(&self) -> Time {
+        self.infer.config().batch_period()
+    }
+
+    fn regions(&self) -> &QualityRegionTable {
+        &self.regions
+    }
+
+    fn exec_source(&self, jitter: f64, seed: u64) -> BatchCoupledExec<'_> {
+        self.infer.exec(jitter, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_block_streaming_matches_closed_loop() {
+        let exp = InferExperiment::tiny(7);
+        for chaining in [CycleChaining::WorkConserving, CycleChaining::ArrivalClamped] {
+            let closed = exp.run_closed(4, chaining, exp.jitter(), 11, &mut NullSink);
+            let streamed = exp.run_streaming(
+                StreamConfig {
+                    chaining,
+                    capacity: 2,
+                    policy: OverloadPolicy::Block,
+                },
+                &mut Periodic::new(exp.period(), 4),
+                exp.jitter(),
+                11,
+                &mut NullSink,
+            );
+            assert_eq!(streamed.run, closed, "{chaining:?}");
+        }
+    }
+
+    #[test]
+    fn nominal_rate_is_lossless_but_overload_sheds() {
+        let exp = InferExperiment::tiny(7);
+        let scenarios = InferExperiment::scenarios();
+        let nominal = scenarios
+            .iter()
+            .find(|s| s.name == "bursty6/drop-newest")
+            .unwrap();
+        let out = exp.run_scenario(nominal, 24, 11);
+        assert_eq!(out.stats.arrived, 24);
+        // At the nominal SLO rate the batch keeps up: bursts queue but
+        // admission control never has to act.
+        assert_eq!(out.stats.dropped, 0, "nominal rate must be sustainable");
+        assert!(out.stats.max_backlog > 0, "bursts actually queue");
+
+        let overload = scenarios
+            .iter()
+            .find(|s| s.name == "bursty6-overload/drop-newest")
+            .unwrap();
+        let out = exp.run_scenario(overload, 24, 11);
+        assert!(out.stats.dropped > 0, "1.43x overload must shed");
+        assert_eq!(out.stats.processed + out.stats.dropped, 24);
+    }
+
+    #[test]
+    fn infer_fleet_is_deterministic_across_worker_counts() {
+        let exp = InferExperiment::tiny(7);
+        let specs = exp.streaming_specs(8, 2);
+        assert!(specs
+            .iter()
+            .any(|s| s.arrival == ArrivalSpec::Bursty { max_burst: 6 }));
+        assert!(specs.iter().any(|s| s.arrival == ArrivalSpec::Periodic));
+        let serial = exp.run_serial(&specs);
+        assert_eq!(serial.n_streams(), 8);
+        for workers in 1..=4 {
+            assert_eq!(serial, exp.run_fleet(&specs, workers), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn elastic_serving_matches_serial_reference_and_worker_counts() {
+        let exp = InferExperiment::tiny(5);
+        let config = ElasticConfig::live().with_ring_capacity(16);
+        let reference = exp.run_elastic(1, config, 24, 2);
+        assert_eq!(reference.n_streams(), 24);
+        assert_eq!(reference.stats().processed, 48);
+        for workers in [2, 4] {
+            assert_eq!(
+                exp.run_elastic(workers, config, 24, 2),
+                reference,
+                "workers = {workers}"
+            );
+        }
+        let serial = exp.serial_elastic_reference(config, 24, 2);
+        assert_eq!(reference.per_stream(), &serial[..]);
+    }
+
+    #[test]
+    fn overloaded_elastic_serving_sheds_deterministically() {
+        let exp = InferExperiment::tiny(5);
+        let config = ElasticConfig::live()
+            .with_admission(Admission::DropNewest { global_capacity: 6 })
+            .with_ring_capacity(16);
+        let out = exp.run_elastic(1, config, 18, 4);
+        assert!(
+            out.ledger().shed > 0,
+            "4x overload sheds: {:?}",
+            out.ledger()
+        );
+        assert_eq!(out.ledger().arrived, 18 * 4);
+        assert_eq!(exp.run_elastic(3, config, 18, 4), out);
+    }
+}

@@ -28,6 +28,11 @@
 //! * [`net`] — the packet-pipeline workload: bursty line-rate traffic
 //!   under tail drop (`cargo run -p sqm-bench --release --bin bench_net`
 //!   emits `BENCH_net.json`, the trajectory's fourth point).
+//! * [`infer`] — the inference-serving workload: continuous-batching
+//!   coupled execution under p99/p999 SLO deadline classes (`cargo run -p
+//!   sqm-bench --release --bin bench_infer` emits `BENCH_infer.json`, the
+//!   trajectory's serving point: decisions/sec, worst SLO slack, and shed
+//!   rate at 1k/10k/100k concurrent request streams).
 //! * [`elastic`] — the elastic-scheduler stress: 10⁵ micro live streams
 //!   interleaved per-cycle through `sqm_core::elastic` (`cargo run -p
 //!   sqm-bench --release --bin bench_elastic` emits `BENCH_elastic.json`,
@@ -48,18 +53,20 @@ pub mod elastic;
 pub mod fleet;
 pub mod fuzz;
 pub mod harness;
+pub mod infer;
 pub mod net;
 pub mod report;
 pub mod streaming;
 pub mod workload;
 
-pub use elastic::{normalize_backlog, ElasticExperiment};
+pub use elastic::ElasticExperiment;
 pub use fleet::{FleetExperiment, FleetWorkload};
 pub use fuzz::{
     format_repro, minimize, run_campaign, run_case, CampaignReport, FaultKind, FuzzCase, Scenario,
     SourceKind, SystemSpec, Violation,
 };
 pub use harness::{run_paper_experiment, ExperimentResult, ManagerKind, PaperExperiment};
+pub use infer::{InferDriver, InferExperiment};
 pub use net::NetExperiment;
 pub use streaming::{StreamScenario, StreamingExperiment};
 pub use workload::{AudioExperiment, Workload};

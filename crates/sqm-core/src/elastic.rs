@@ -45,12 +45,17 @@
 //! running each stream through [`crate::stream::StreamingRunner`] with
 //! [`OverloadPolicy::Block`] — the per-stream recurrence (`start =
 //! max(now, arrival)` live, `start = now` work-conserving; `now = arrival
-//! + end`) is the same code, [`StreamCursor`]. The one caveat:
-//! [`StreamStats::max_backlog`] is observed at *scheduler* granularity
-//! here (a round may admit arrivals slightly earlier than the per-stream
-//! runner would have observed them), so cross-path comparisons normalize
-//! that field; across elastic worker counts it is byte-identical like
-//! everything else. `tests/conformance.rs` pins both properties.
+//! + end`) is the same code, [`StreamCursor`]. That identity covers the
+//! *full* struct, [`StreamStats::max_backlog`] included: the scheduler
+//! admits arrivals whenever the event loop reaches them (which may be
+//! rounds earlier than the per-stream runner would have), so instead of
+//! sampling its own queue depths it keeps a per-stream shadow account
+//! that replays each admitted arrival against the stream's completion
+//! times at *admission granularity* — the depth the per-stream runner
+//! observes is `j − #{completions < arrival_j}` for the stream's `j`-th
+//! admitted arrival, a pure function of the arrival and completion
+//! sequences, not of ring capacity, round boundaries or worker count.
+//! `tests/conformance.rs` pins the identity field-for-field.
 //!
 //! ## Admission semantics
 //!
@@ -433,6 +438,70 @@ struct Slot<D> {
     cursor: StreamCursor,
 }
 
+/// Per-stream backlog accounting at admission granularity.
+///
+/// The per-stream runner ([`crate::stream::StreamingRunner`] + `Block`)
+/// observes queue depth `j − #{completions < a_j}` when its `j`-th
+/// admitted arrival `a_j` joins a busy stream, and no depth at all when
+/// the stream is idle (the frame goes straight into service — which is
+/// exactly when that expression is zero). The elastic scheduler admits
+/// arrivals at event-loop granularity, often rounds ahead of execution,
+/// so its own queue depths are not comparable; this shadow re-derives the
+/// per-stream sequence from the admitted-arrival and completion streams
+/// alone. Both feeds are monotone, so a two-pointer classification is
+/// exact in O(1) amortized: arrival `j` is judged once the stream's first
+/// `j` completions are known (frames finish in order, and frame `j`
+/// cannot finish before arrival `j` is admitted, so exactly `j`
+/// completions are visible at that moment — later ones cannot leak in).
+#[derive(Clone, Debug, Default)]
+struct ShadowBacklog {
+    /// Completion times recorded but not yet consumed by classification.
+    comps: VecDeque<Time>,
+    /// Total completions recorded.
+    comp_seen: usize,
+    /// Completions consumed, i.e. `#{completions < a_j}` for the last
+    /// classified arrival (both feeds are monotone, so consumed
+    /// completions never need revisiting).
+    comps_popped: usize,
+    /// Admitted arrivals awaiting classification.
+    pending: VecDeque<Time>,
+    /// Index of the next arrival to classify.
+    classified: usize,
+    /// High-water mark of the classified depths.
+    max_backlog: usize,
+}
+
+impl ShadowBacklog {
+    /// Record the stream's next admitted arrival (shed frames excluded).
+    fn on_admit(&mut self, arrival: Time) {
+        self.pending.push_back(arrival);
+        self.drain();
+    }
+
+    /// Record the completion of the stream's next admitted frame.
+    fn on_complete(&mut self, completion: Time) {
+        self.comps.push_back(completion);
+        self.comp_seen += 1;
+        self.drain();
+    }
+
+    /// Classify every pending arrival whose completion prefix is known.
+    fn drain(&mut self) {
+        while let Some(&a) = self.pending.front() {
+            if self.comp_seen < self.classified {
+                break;
+            }
+            while self.comps.front().is_some_and(|&c| c < a) {
+                self.comps.pop_front();
+                self.comps_popped += 1;
+            }
+            self.max_backlog = self.max_backlog.max(self.classified - self.comps_popped);
+            self.pending.pop_front();
+            self.classified += 1;
+        }
+    }
+}
+
 /// Scheduler-side per-stream state (never crosses a thread boundary).
 struct SchedStream<A> {
     source: A,
@@ -447,6 +516,8 @@ struct SchedStream<A> {
     queue: VecDeque<(usize, Time, bool)>,
     /// A cycle of this stream is in the current round's ring.
     in_flight: bool,
+    /// Admission-granular backlog account (see [`ShadowBacklog`]).
+    shadow: ShadowBacklog,
 }
 
 /// The serial deterministic scheduling core: owns the heaps, the queues
@@ -483,6 +554,7 @@ impl<A: ArrivalSource> Scheduler<A> {
                 next_frame: 0,
                 queue: VecDeque::new(),
                 in_flight: false,
+                shadow: ShadowBacklog::default(),
             });
         }
         Scheduler {
@@ -583,10 +655,7 @@ impl<A: ArrivalSource> Scheduler<A> {
                 self.start_heap
                     .push(slot.cursor.start_for(self.chaining, ta), s);
             }
-            // The queue front of an idle stream is about to start (its
-            // start event exists) — it is "in service", not waiting.
-            slot.cursor
-                .note_backlog(st.queue.len() - usize::from(!st.in_flight));
+            st.shadow.on_admit(ta);
         }
         drop(slot);
         // Consume the peeked timestamp and re-key the stream's lane on
@@ -610,8 +679,9 @@ impl<A: ArrivalSource> Scheduler<A> {
         for r in ring {
             let st = &mut self.streams[r.stream as usize];
             st.in_flight = false;
+            let slot = slots[r.stream as usize].lock().expect("slot lock");
+            st.shadow.on_complete(slot.cursor.now());
             if let Some(&(_, arrival, _)) = st.queue.front() {
-                let slot = slots[r.stream as usize].lock().expect("slot lock");
                 self.start_heap
                     .push(slot.cursor.start_for(self.chaining, arrival), r.stream);
             }
@@ -817,9 +887,12 @@ impl ElasticRunner {
             ledger: sched.ledger,
         };
         let mut drivers = Vec::with_capacity(n);
-        for slot in slots {
+        for (i, slot) in slots.into_iter().enumerate() {
             let slot = slot.into_inner().expect("slot lock");
-            let s = slot.cursor.summary();
+            let mut s = slot.cursor.summary();
+            // The cursor never saw scheduler queue depths; the shadow
+            // account supplies the admission-granular high-water mark.
+            s.stats.max_backlog = sched.streams[i].shadow.max_backlog;
             summary.run.merge(&s.run);
             summary.stats.merge(&s.stats);
             summary.per_stream.push(s);
@@ -995,9 +1068,9 @@ mod tests {
     }
 
     /// Under `Admission::Unbounded`, each stream's result equals running
-    /// it alone through `StreamingRunner` + `Block` — modulo
-    /// `max_backlog`, which elastic observes at scheduler granularity
-    /// (see the module docs).
+    /// it alone through `StreamingRunner` + `Block` — the *full* struct,
+    /// `max_backlog` included (the shadow account re-derives the
+    /// per-stream runner's depth sequence at admission granularity).
     #[test]
     fn unbounded_matches_streaming_runner_per_stream() {
         let s = sys();
@@ -1023,11 +1096,7 @@ mod tests {
                     &mut exec_for(&s, i as u64),
                     &mut NullSink,
                 );
-                let mut got = *got;
-                let mut want = want;
-                got.stats.max_backlog = 0;
-                want.stats.max_backlog = 0;
-                assert_eq!(got, want, "stream {i} {chaining:?}");
+                assert_eq!(*got, want, "stream {i} {chaining:?}");
             }
         }
     }
@@ -1097,10 +1166,10 @@ mod tests {
 
     /// A ring of capacity 1 degenerates to one cycle per round and still
     /// produces the same per-stream results as a huge ring (admission
-    /// differs only under global capacity pressure, absent here). Only
-    /// `max_backlog` may differ — a bigger ring admits more arrivals
-    /// before a stream's cycle completes, so the observed high-water is
-    /// ring-granular (worker count, by contrast, never moves it).
+    /// differs only under global capacity pressure, absent here) —
+    /// `max_backlog` included: the shadow account is a function of each
+    /// stream's arrival and completion sequences, so ring granularity
+    /// (like worker count) never moves it.
     #[test]
     fn ring_capacity_does_not_change_unbounded_results() {
         let s = sys();
@@ -1111,18 +1180,7 @@ mod tests {
         let tiny = ElasticRunner::new(2, ElasticConfig::live().with_ring_capacity(1))
             .run(drivers(&s, &p, 7, 6))
             .0;
-        let flatten = |summary: &ElasticSummary| -> Vec<StreamSummary> {
-            summary
-                .per_stream()
-                .iter()
-                .map(|s| {
-                    let mut s = *s;
-                    s.stats.max_backlog = 0;
-                    s
-                })
-                .collect()
-        };
-        assert_eq!(flatten(&big), flatten(&tiny));
+        assert_eq!(big.per_stream(), tiny.per_stream());
         assert!(tiny.ledger().rounds > big.ledger().rounds);
     }
 

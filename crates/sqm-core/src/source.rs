@@ -29,6 +29,13 @@
 //! host scheduling. Timestamps must be non-decreasing; every built-in
 //! source guarantees it, and the runner clamps defensively.
 //!
+//! Sources never yield the [`Time::INF`] sentinel: a grid position whose
+//! timestamp would overflow onto (or alias) a sentinel ends the stream
+//! with a typed [`Exhaustion::HorizonExceeded`] outcome instead —
+//! `peek` and `next_arrival` agree on the cut, and
+//! [`ArrivalSource::exhaustion`] distinguishes it from an ordinary
+//! drained stream.
+//!
 //! [`CycleChaining`]: crate::engine::CycleChaining
 //! [`CycleChaining::ArrivalClamped`]: crate::engine::CycleChaining::ArrivalClamped
 
@@ -36,12 +43,26 @@ use crate::time::Time;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Why an [`ArrivalSource`] stopped yielding timestamps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Exhaustion {
+    /// The source delivered every frame it had (the ordinary end).
+    #[default]
+    Drained,
+    /// The next arrival's timestamp would have overflowed onto (or
+    /// aliased) a [`Time::INF`]/[`Time::NEG_INF`] sentinel, so the source
+    /// cut the stream at the representable horizon instead of yielding a
+    /// value schedulers would misread as "no event".
+    HorizonExceeded,
+}
+
 /// An event stream of cycle arrivals: yields the absolute arrival
 /// timestamp of the next frame, or `None` when the stream ends.
 ///
-/// Timestamps must be non-decreasing. Frame indices are implicit — the
-/// `n`-th yielded timestamp is frame `n`, and a frame dropped by an
-/// overload policy still consumes its index (replay stays aligned).
+/// Timestamps must be non-decreasing and **finite** (never a sentinel).
+/// Frame indices are implicit — the `n`-th yielded timestamp is frame
+/// `n`, and a frame dropped by an overload policy still consumes its
+/// index (replay stays aligned).
 pub trait ArrivalSource {
     /// Arrival time of the next frame on the run's absolute time line, or
     /// `None` when the stream has ended.
@@ -58,6 +79,14 @@ pub trait ArrivalSource {
     /// Sources that draw randomness materialize the pending timestamp on
     /// first peek and hand the *same* value to the consuming call.
     fn peek(&mut self) -> Option<Time>;
+
+    /// Why the stream ended, once `next_arrival`/`peek` return `None`
+    /// (unspecified before then). The default is [`Exhaustion::Drained`];
+    /// grid-based sources report [`Exhaustion::HorizonExceeded`] when the
+    /// cut was forced by timestamp overflow rather than frame count.
+    fn exhaustion(&self) -> Exhaustion {
+        Exhaustion::Drained
+    }
 }
 
 impl<A: ArrivalSource + ?Sized> ArrivalSource for &mut A {
@@ -68,6 +97,10 @@ impl<A: ArrivalSource + ?Sized> ArrivalSource for &mut A {
     fn peek(&mut self) -> Option<Time> {
         (**self).peek()
     }
+
+    fn exhaustion(&self) -> Exhaustion {
+        (**self).exhaustion()
+    }
 }
 
 /// One frame every `period`, starting at time zero — the closed loop's
@@ -77,6 +110,7 @@ pub struct Periodic {
     period: Time,
     frames: usize,
     next: usize,
+    exhaustion: Exhaustion,
 }
 
 impl Periodic {
@@ -86,25 +120,37 @@ impl Periodic {
             period,
             frames,
             next: 0,
+            exhaustion: Exhaustion::Drained,
         }
+    }
+
+    /// The grid position of the next frame, or `None` (recording the
+    /// horizon cut) when `next · period` no longer fits the time line.
+    fn grid(&mut self) -> Option<Time> {
+        if self.next == self.frames {
+            return None;
+        }
+        let t = self.period.checked_mul(self.next as i64);
+        if t.is_none() {
+            self.exhaustion = Exhaustion::HorizonExceeded;
+        }
+        t
     }
 }
 
 impl ArrivalSource for Periodic {
     fn next_arrival(&mut self) -> Option<Time> {
-        if self.next == self.frames {
-            return None;
-        }
-        let t = self.period.saturating_mul(self.next as i64);
+        let t = self.grid()?;
         self.next += 1;
         Some(t)
     }
 
     fn peek(&mut self) -> Option<Time> {
-        if self.next == self.frames {
-            return None;
-        }
-        Some(self.period.saturating_mul(self.next as i64))
+        self.grid()
+    }
+
+    fn exhaustion(&self) -> Exhaustion {
+        self.exhaustion
     }
 }
 
@@ -121,6 +167,7 @@ pub struct Jittered {
     // Timestamp already drawn by `peek` and not yet consumed — the RNG
     // advances exactly once per frame no matter how the draw is observed.
     pending: Option<Time>,
+    exhaustion: Exhaustion,
     rng: StdRng,
 }
 
@@ -135,18 +182,27 @@ impl Jittered {
             next: 0,
             floor: Time::ZERO,
             pending: None,
+            exhaustion: Exhaustion::Drained,
             rng: StdRng::seed_from_u64(seed),
         }
     }
 
     fn draw(&mut self) -> Option<Time> {
-        if self.next == self.frames {
+        if self.next == self.frames || self.exhaustion == Exhaustion::HorizonExceeded {
             return None;
         }
-        let nominal = self.period.saturating_mul(self.next as i64);
+        let Some(nominal) = self.period.checked_mul(self.next as i64) else {
+            self.exhaustion = Exhaustion::HorizonExceeded;
+            return None;
+        };
         let j = self.jitter.as_ns();
         let offset = if j > 0 { self.rng.gen_range(-j..=j) } else { 0 };
         let t = (nominal + Time::from_ns(offset)).max(self.floor);
+        if t.is_infinite() {
+            // Jitter pushed the last grid position onto the sentinel.
+            self.exhaustion = Exhaustion::HorizonExceeded;
+            return None;
+        }
         self.floor = t;
         self.next += 1;
         Some(t)
@@ -167,6 +223,10 @@ impl ArrivalSource for Jittered {
         }
         self.pending
     }
+
+    fn exhaustion(&self) -> Exhaustion {
+        self.exhaustion
+    }
 }
 
 /// Bursty arrivals at the nominal average rate: frames arrive in bursts of
@@ -185,6 +245,7 @@ pub struct Bursty {
     next_time: Time,
     // Timestamp already drawn by `peek` and not yet consumed.
     pending: Option<Time>,
+    exhaustion: Exhaustion,
     rng: StdRng,
 }
 
@@ -201,6 +262,7 @@ impl Bursty {
             burst_time: Time::ZERO,
             next_time: Time::ZERO,
             pending: None,
+            exhaustion: Exhaustion::Drained,
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -210,10 +272,28 @@ impl Bursty {
             return None;
         }
         if self.burst_left == 0 {
+            // A previous burst already pushed the schedule off the time
+            // line: the current burst was emitted in full, the next one
+            // never starts.
+            if self.next_time.is_infinite() {
+                self.exhaustion = Exhaustion::HorizonExceeded;
+                return None;
+            }
             let size = self.rng.gen_range(1..=self.max_burst);
             self.burst_left = size;
             self.burst_time = self.next_time;
-            self.next_time = self.burst_time + self.period.saturating_mul(size as i64);
+            self.next_time = match self
+                .period
+                .checked_mul(size as i64)
+                .map(|span| self.burst_time + span)
+                .filter(|t| !t.is_infinite())
+            {
+                Some(t) => t,
+                // Overflow: park the schedule on the sentinel so the
+                // *next* burst reports the horizon; this burst's shared
+                // timestamp is still finite and still emitted.
+                None => Time::INF,
+            };
         }
         self.burst_left -= 1;
         self.emitted += 1;
@@ -234,6 +314,10 @@ impl ArrivalSource for Bursty {
             self.pending = self.draw();
         }
         self.pending
+    }
+
+    fn exhaustion(&self) -> Exhaustion {
+        self.exhaustion
     }
 }
 
@@ -391,6 +475,14 @@ impl ArrivalSource for PatternSource {
             PatternSource::Bursty(s) => s.peek(),
         }
     }
+
+    fn exhaustion(&self) -> Exhaustion {
+        match self {
+            PatternSource::Periodic(s) => s.exhaustion(),
+            PatternSource::Jittered(s) => s.exhaustion(),
+            PatternSource::Bursty(s) => s.exhaustion(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -518,6 +610,103 @@ mod tests {
         let mut v = vec![Time::from_ns(10), Time::ZERO].into_iter();
         let times = drain(FnSource::new(move || v.next()));
         assert_eq!(times, vec![Time::from_ns(10), Time::ZERO]);
+    }
+
+    /// A huge period drives the arrival grid to the edge of the time line
+    /// within a handful of frames. The old `saturating_mul` arithmetic
+    /// aliased the overflowed arrival onto `Time::INF` and handed the
+    /// sentinel out as a real timestamp; now the stream cuts at the
+    /// horizon with a typed outcome, `peek` and `next_arrival` agreeing
+    /// frame for frame.
+    #[test]
+    fn grid_sources_cut_at_the_horizon_instead_of_yielding_sentinels() {
+        // period · 2 lands exactly on i64::MAX (the INF sentinel); frame
+        // 3 would overflow i64 outright. Both must cut the stream.
+        let period = Time::from_ns(i64::MAX / 2 + 1);
+        let many = 1_000;
+
+        let mut p = Periodic::new(period, many);
+        assert_eq!(p.exhaustion(), Exhaustion::Drained);
+        assert_eq!(p.peek(), Some(Time::ZERO));
+        assert_eq!(p.next_arrival(), Some(Time::ZERO));
+        assert_eq!(p.next_arrival(), Some(period));
+        assert_eq!(p.peek(), None, "frame 2 aliases INF: horizon");
+        assert_eq!(p.next_arrival(), None);
+        assert_eq!(p.exhaustion(), Exhaustion::HorizonExceeded);
+        assert_eq!(p.peek(), None, "the cut is permanent");
+
+        // An in-range grid still drains normally.
+        let mut p = Periodic::new(Time::from_ns(100), 2);
+        assert_eq!(drain(&mut p).len(), 2);
+        assert_eq!(p.exhaustion(), Exhaustion::Drained);
+
+        // Jittered: same grid, zero jitter — identical cut; exercised
+        // through peek to pin the pending-buffer path.
+        let mut j = Jittered::new(period, Time::ZERO, many, 7);
+        let times = drain(&mut j);
+        assert_eq!(times, vec![Time::ZERO, period]);
+        assert!(times.iter().all(|t| !t.is_infinite()));
+        assert_eq!(j.exhaustion(), Exhaustion::HorizonExceeded);
+
+        // Jitter alone can push the last representable grid position
+        // onto the sentinel.
+        let mut j = Jittered::new(Time::from_ns(i64::MAX - 1), Time::from_ns(2), 2, 3);
+        while j.next_arrival().is_some() {}
+        assert!(
+            matches!(
+                j.exhaustion(),
+                Exhaustion::Drained | Exhaustion::HorizonExceeded
+            ),
+            "either the draw stayed finite or the cut was typed"
+        );
+
+        // Bursty: the burst whose step overflows still emits in full at
+        // its finite shared timestamp; the *next* burst reports the
+        // horizon.
+        let mut b = Bursty::new(period, 4, many, 11);
+        let times = drain(&mut b);
+        assert!(!times.is_empty());
+        assert!(times.iter().all(|t| !t.is_infinite()), "no sentinel leaks");
+        assert!(times.len() < many, "the grid cannot carry 1000 frames");
+        assert_eq!(b.exhaustion(), Exhaustion::HorizonExceeded);
+        assert_eq!(b.peek(), None);
+
+        // Drained bursty streams stay typed as drained.
+        let mut b = Bursty::new(Time::from_ns(100), 4, 16, 11);
+        assert_eq!(drain(&mut b).len(), 16);
+        assert_eq!(b.exhaustion(), Exhaustion::Drained);
+    }
+
+    /// `peek`/`next_arrival` agreement at the horizon for every grid
+    /// source kind: interleaved peeking observes the same finite prefix
+    /// and the same cut as plain draining.
+    #[test]
+    fn peek_and_next_agree_at_the_horizon() {
+        let period = Time::from_ns(i64::MAX / 3);
+        for mut src in [
+            PatternSource::Periodic(Periodic::new(period, 64)),
+            PatternSource::Jittered(Jittered::new(period, Time::from_ns(1 << 40), 64, 5)),
+            PatternSource::Bursty(Bursty::new(period, 3, 64, 9)),
+        ] {
+            let mut reference = src.clone();
+            let mut seen = Vec::new();
+            loop {
+                let p = src.peek();
+                assert_eq!(src.peek(), p, "peek is idempotent at the horizon");
+                let t = src.next_arrival();
+                assert_eq!(t, p, "peek-then-next = next at the horizon");
+                match t {
+                    Some(t) => {
+                        assert!(!t.is_infinite());
+                        seen.push(t);
+                    }
+                    None => break,
+                }
+            }
+            assert_eq!(seen, drain(&mut reference));
+            assert_eq!(src.exhaustion(), Exhaustion::HorizonExceeded);
+            assert_eq!(reference.exhaustion(), Exhaustion::HorizonExceeded);
+        }
     }
 
     /// Interleaving peeks (including repeated ones) with consuming calls

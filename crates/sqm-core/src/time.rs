@@ -110,6 +110,31 @@ impl Time {
         Time(self.0.saturating_mul(k))
     }
 
+    /// Multiplication by an integer scalar that refuses to alias the
+    /// sentinels: `None` on `i64` overflow *and* when the exact product
+    /// lands on [`Time::INF`] or [`Time::NEG_INF`] — a finite computation
+    /// must never be mistaken for an open bound. Arrival sources use this
+    /// to turn "the grid ran off the representable time line" into a
+    /// typed horizon outcome instead of a silent sentinel
+    /// ([`crate::source::Exhaustion::HorizonExceeded`]).
+    ///
+    /// ```
+    /// use sqm_core::time::Time;
+    /// assert_eq!(
+    ///     Time::from_ns(30).checked_mul(4),
+    ///     Some(Time::from_ns(120))
+    /// );
+    /// assert_eq!(Time::from_ns(i64::MAX / 2).checked_mul(3), None);
+    /// assert_eq!(Time::from_ns(i64::MAX).checked_mul(1), None, "sentinel");
+    /// ```
+    #[inline]
+    pub const fn checked_mul(self, k: i64) -> Option<Time> {
+        match self.0.checked_mul(k) {
+            Some(ns) if ns != i64::MAX && ns != i64::MIN => Some(Time(ns)),
+            _ => None,
+        }
+    }
+
     /// The smaller of two times.
     #[inline]
     pub fn min(self, other: Time) -> Time {
@@ -255,6 +280,20 @@ mod tests {
         assert_eq!(Time::NEG_INF + Time::from_ns(-1), Time::NEG_INF);
         assert_eq!(Time::INF.saturating_add(Time::INF), Time::INF);
         assert_eq!(Time::NEG_INF.saturating_sub(Time::INF), Time::NEG_INF);
+    }
+
+    #[test]
+    fn checked_mul_rejects_overflow_and_sentinels() {
+        assert_eq!(Time::from_ns(100).checked_mul(3), Some(Time::from_ns(300)));
+        assert_eq!(Time::from_ns(-5).checked_mul(2), Some(Time::from_ns(-10)));
+        assert_eq!(Time::ZERO.checked_mul(i64::MAX), Some(Time::ZERO));
+        // Overflow in either direction is refused, not saturated.
+        assert_eq!(Time::from_ns(i64::MAX / 2 + 1).checked_mul(2), None);
+        assert_eq!(Time::from_ns(i64::MIN / 2 - 1).checked_mul(2), None);
+        // Exact products on a sentinel would alias an open bound.
+        assert_eq!(Time::INF.checked_mul(1), None);
+        assert_eq!(Time::NEG_INF.checked_mul(1), None);
+        assert_eq!(Time::from_ns(-i64::MAX).checked_mul(-1), None);
     }
 
     #[test]

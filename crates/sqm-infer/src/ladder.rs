@@ -1,0 +1,252 @@
+//! The per-request quality ladder of the serving workload.
+//!
+//! The paper's quality level is one scalar; an inference server spends its
+//! latency budget on three levers at once — which **model variant** to
+//! route the request to, at what **quantization width** to run it, and how
+//! deep into the continuous batch to **admit** it. An [`InferLadder`] maps
+//! each scalar quality level to one [`InferRung`] fixing all three,
+//! **monotone in every lever**, so Definition 1's non-decreasing execution
+//! times hold by construction: stepping the manager's quality up never
+//! makes a phase cheaper — a bigger model, a wider numeric format, and a
+//! deeper batch all cost more per token.
+
+use sqm_core::quality::Quality;
+
+/// Which model variant serves the request — the dominant cost lever.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ModelVariant {
+    /// Distilled student model (cheapest, lowest answer quality).
+    Distilled,
+    /// Small production model.
+    Small,
+    /// The base model.
+    Base,
+    /// The large flagship model.
+    Large,
+}
+
+impl ModelVariant {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelVariant::Distilled => "distilled",
+            ModelVariant::Small => "small",
+            ModelVariant::Base => "base",
+            ModelVariant::Large => "large",
+        }
+    }
+
+    /// Relative per-token compute weight (distilled = 1.0).
+    pub fn weight(self) -> f64 {
+        match self {
+            ModelVariant::Distilled => 1.0,
+            ModelVariant::Small => 1.5,
+            ModelVariant::Base => 2.4,
+            ModelVariant::Large => 3.5,
+        }
+    }
+}
+
+/// Numeric width the variant's weights run at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Quantization {
+    /// 4-bit integer weights (cheapest, most lossy).
+    Int4,
+    /// 8-bit integer weights.
+    Int8,
+    /// Half-precision floating point (full answer quality).
+    Fp16,
+}
+
+impl Quantization {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Quantization::Int4 => "int4",
+            Quantization::Int8 => "int8",
+            Quantization::Fp16 => "fp16",
+        }
+    }
+
+    /// Weight bits per parameter.
+    pub fn bits(self) -> u32 {
+        match self {
+            Quantization::Int4 => 4,
+            Quantization::Int8 => 8,
+            Quantization::Fp16 => 16,
+        }
+    }
+
+    /// Relative per-token compute weight (int8 = 1.0; int4 kernels are
+    /// cheaper, fp16 moves twice the bytes).
+    pub fn weight(self) -> f64 {
+        match self {
+            Quantization::Int4 => 0.6,
+            Quantization::Int8 => 1.0,
+            Quantization::Fp16 => 1.8,
+        }
+    }
+}
+
+/// One rung of the ladder: the lever settings of a single quality level.
+///
+/// # Examples
+///
+/// ```
+/// use sqm_infer::ladder::{InferLadder, ModelVariant, Quantization};
+/// use sqm_core::quality::Quality;
+///
+/// let ladder = InferLadder::standard(5);
+/// let top = ladder.rung(Quality::new(4));
+/// assert_eq!(top.model, ModelVariant::Large);
+/// assert_eq!(top.quant, Quantization::Fp16);
+/// assert_eq!(top.batch_depth, 8);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InferRung {
+    /// Model variant the request is routed to.
+    pub model: ModelVariant,
+    /// Quantization width it runs at.
+    pub quant: Quantization,
+    /// How many requests the scheduler may co-batch with this one
+    /// (`1` = the request decodes alone).
+    pub batch_depth: usize,
+}
+
+impl InferRung {
+    /// Combined per-token compute weight of the model × quantization
+    /// levers (the batch-depth lever acts through
+    /// [`coupling_factor`](crate::pipeline::coupling_factor) instead).
+    pub fn cost_weight(self) -> f64 {
+        self.model.weight() * self.quant.weight()
+    }
+}
+
+/// Maps scalar quality levels to lever settings, monotone per lever.
+///
+/// # Examples
+///
+/// ```
+/// use sqm_infer::ladder::InferLadder;
+///
+/// let ladder = InferLadder::standard(5);
+/// assert_eq!(ladder.len(), 5);
+/// for pair in ladder.rungs().windows(2) {
+///     assert!(pair[1].model >= pair[0].model);
+///     assert!(pair[1].quant >= pair[0].quant);
+///     assert!(pair[1].batch_depth >= pair[0].batch_depth);
+/// }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InferLadder {
+    rungs: Vec<InferRung>,
+}
+
+impl InferLadder {
+    /// The standard ladder for `n` quality levels (`n ≥ 1`): levers ramp
+    /// from (distilled, int4, solo decode) at the bottom to (large, fp16,
+    /// 8-deep continuous batch) at the top.
+    pub fn standard(n: usize) -> InferLadder {
+        let n = n.max(1);
+        let rungs = (0..n)
+            .map(|q| {
+                // Position in [0, 1] (a single rung sits at the bottom).
+                let t = if n == 1 {
+                    0.0
+                } else {
+                    q as f64 / (n - 1) as f64
+                };
+                let model = match (t * 3.0).round() as usize {
+                    0 => ModelVariant::Distilled,
+                    1 => ModelVariant::Small,
+                    2 => ModelVariant::Base,
+                    _ => ModelVariant::Large,
+                };
+                let quant = match (t * 2.0).round() as usize {
+                    0 => Quantization::Int4,
+                    1 => Quantization::Int8,
+                    _ => Quantization::Fp16,
+                };
+                InferRung {
+                    model,
+                    quant,
+                    batch_depth: 1 + (t * 7.0).round() as usize,
+                }
+            })
+            .collect();
+        InferLadder { rungs }
+    }
+
+    /// Number of rungs (= quality levels).
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// `true` for an empty ladder (never produced by the constructors).
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    /// The rung of a quality level (clamped to the top).
+    pub fn rung(&self, q: Quality) -> InferRung {
+        self.rungs[q.index().min(self.rungs.len() - 1)]
+    }
+
+    /// All rungs, bottom to top.
+    pub fn rungs(&self) -> &[InferRung] {
+        &self.rungs
+    }
+
+    /// The deepest admission any rung allows — the worst-case co-batch
+    /// load a decode can observe.
+    pub fn max_depth(&self) -> usize {
+        self.rungs.iter().map(|r| r.batch_depth).max().unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_ladder_is_monotone_in_every_lever() {
+        for n in 1..=9 {
+            let ladder = InferLadder::standard(n);
+            assert_eq!(ladder.len(), n);
+            for w in ladder.rungs().windows(2) {
+                assert!(w[1].model >= w[0].model, "model monotone");
+                assert!(w[1].quant >= w[0].quant, "quant monotone");
+                assert!(w[1].batch_depth >= w[0].batch_depth, "depth monotone");
+                assert!(
+                    w[1].cost_weight() >= w[0].cost_weight(),
+                    "cost weight monotone"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_spans_the_lever_ranges() {
+        let ladder = InferLadder::standard(5);
+        let bottom = ladder.rungs()[0];
+        let top = ladder.rungs()[4];
+        assert_eq!(bottom.model, ModelVariant::Distilled);
+        assert_eq!(top.model, ModelVariant::Large);
+        assert_eq!(bottom.quant, Quantization::Int4);
+        assert_eq!(top.quant, Quantization::Fp16);
+        assert_eq!(bottom.batch_depth, 1);
+        assert_eq!(top.batch_depth, 8);
+        assert_eq!(ladder.max_depth(), 8);
+    }
+
+    #[test]
+    fn rung_lookup_clamps() {
+        let ladder = InferLadder::standard(3);
+        assert_eq!(ladder.rung(Quality::new(9)), ladder.rungs()[2]);
+        assert!(!ladder.is_empty());
+        assert!(ModelVariant::Large.weight() > ModelVariant::Distilled.weight());
+        assert!(Quantization::Fp16.bits() > Quantization::Int4.bits());
+        assert_eq!(Quantization::Int8.label(), "int8");
+        assert_eq!(ModelVariant::Base.label(), "base");
+    }
+}

@@ -1,0 +1,40 @@
+//! # sqm-infer — inference-serving workload with continuous batching
+//!
+//! A fourth application domain for the quality-management method, and the
+//! first whose execution times are **coupled across the batch**: an
+//! LLM-style serving engine admits requests into a continuous batch, and
+//! every admitted request shares the accelerator's per-step decode
+//! kernels. One cycle serves a batch of requests through two atomic
+//! actions each:
+//!
+//! 1. **prefill** — process the prompt, admit the request into the batch;
+//! 2. **decode** — generate the answer tokens against the co-batched load.
+//!
+//! The scalar quality level decomposes through a [`ladder::InferLadder`]
+//! into three monotone levers — model variant × quantization width ×
+//! admission depth — so execution times are non-decreasing in quality
+//! exactly as Definition 1 requires. Deadlines are **SLO classes** rather
+//! than a single frame deadline: interactive slots carry a tight p99
+//! budget, bulk slots a looser p999 budget, mapped onto per-action
+//! deadline classes through [`sqm_core::action::DeadlineMap`].
+//!
+//! The piece the MPEG, audio, and network domains do not have is
+//! [`pipeline::BatchCoupledExec`]: a decode's actual time scales with the
+//! **mean admitted depth** of the batch at the moment it runs, so one
+//! request's quality choice changes every co-batched neighbour's cost —
+//! and the manager's per-action downgrade decisions visibly ripple
+//! through the batch while every conformance path (serial, trace-replay,
+//! fleet, streaming, elastic) stays byte-identical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ladder;
+pub mod pipeline;
+pub mod request;
+
+pub use ladder::{InferLadder, InferRung, ModelVariant, Quantization};
+pub use pipeline::{
+    coupling_factor, BatchCoupledExec, BatchState, InferConfig, InferPhase, InferPipeline, SloClass,
+};
+pub use request::{Request, SyntheticRequests};

@@ -72,6 +72,26 @@ pub fn net_regions() -> OverheadModel {
     OverheadModel::new(NET_CALL_BASE, NET_TABLE_PROBE)
 }
 
+/// Fixed entry cost of a QM invocation on the **serving-host** core the
+/// inference workload (`sqm-infer`) is calibrated for: the scheduler runs
+/// on the host CPU next to an accelerator, so a decision pays a clock
+/// read + call + dispatch plus a little batch bookkeeping — cheaper than
+/// the embedded iPod-class constants, costlier than the line-card's
+/// L2-resident fast path.
+pub const INFER_CALL_BASE: Time = Time::from_ns(2_000);
+
+/// Cost of one symbolic table probe on the serving host (region tables of
+/// a 32-action batch, shared with the admission bookkeeping).
+pub const INFER_TABLE_PROBE: Time = Time::from_ns(60);
+
+/// Overhead model for the region-table Quality Manager on the serving
+/// platform: ≈ 2.3 µs per decision against 60–900 µs phase actions —
+/// about 1 % of a mid-rung decode, the same few-percent regime as the
+/// paper's §4.2 numbers on this domain's timescale.
+pub fn infer_regions() -> OverheadModel {
+    OverheadModel::new(INFER_CALL_BASE, INFER_TABLE_PROBE)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +128,21 @@ mod tests {
         let cost = net_regions().cost(5).as_ns();
         assert!(cost < 500, "net decision ≈ 0.2 µs, got {cost} ns");
         assert!(regions().cost(5).as_ns() > 50 * cost);
+    }
+
+    #[test]
+    fn infer_call_sits_between_the_line_card_and_embedded_scales() {
+        // A regions decision on the serving host probes ≤ |Q| = 5 levels:
+        // ≈ 2.3 µs — roughly 1 % of a ~250 µs mid-rung phase action,
+        // an order of magnitude over the line-card cost and well under
+        // the embedded calibration.
+        let cost = infer_regions().cost(5).as_ns();
+        assert!(
+            (2_000..3_000).contains(&cost),
+            "infer decision ≈ 2.3 µs, got {cost} ns"
+        );
+        assert!(cost > 5 * net_regions().cost(5).as_ns());
+        assert!(regions().cost(5).as_ns() > 5 * cost);
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Inference serving under continuous batching: prefill → decode per
+//! co-batched request, with the quality ladder (model variant ×
+//! quantization × admission-to-batch depth) absorbing what the p99/p999
+//! SLO budgets cannot — and the batch-coupling law on display: admitting
+//! more requests per batch slows *every* co-batched decode.
+//!
+//! ```text
+//! cargo run --release --example infer
+//! ```
+
+use speed_qm::core::compiler::compile_regions;
+use speed_qm::core::controller::ExecutionTimeSource;
+use speed_qm::core::engine::{CycleChaining, Engine, NullSink};
+use speed_qm::core::manager::LookupManager;
+use speed_qm::core::quality::Quality;
+use speed_qm::infer::{coupling_factor, InferConfig, InferPhase, InferPipeline, SloClass};
+use speed_qm::platform::overhead;
+use speed_qm::source::{ArrivalSource, Bursty, Periodic};
+use speed_qm::stream::{OverloadPolicy, StreamConfig, StreamSummary, StreamingRunner};
+
+fn main() {
+    // One symbolic compilation serves every serving regime below; only
+    // the arrival process and the admission policy change.
+    let infer = InferPipeline::new(InferConfig::small(1)).expect("feasible pipeline");
+    let regions = compile_regions(infer.system());
+    let config = *infer.config();
+    let period = config.batch_period();
+    let batches = 24;
+
+    println!(
+        "{} requests/batch ({} prompt + {} decode tokens each) -> {} ns batch period",
+        config.requests_per_batch,
+        config.prompt_tokens,
+        config.decode_tokens,
+        period.as_ns(),
+    );
+    println!(
+        "SLO ladder: interactive p99 {} ns/slot, bulk p999 {} ns/slot (every 4th request)",
+        config.slot_budget(0).as_ns(),
+        config.slot_budget(3).as_ns(),
+    );
+
+    // The quality ladder: cheaper model variants, tighter quantization
+    // and shallower admission as the budget shrinks. Decode averages
+    // already include the coupling factor at the rung's own depth.
+    println!("\nrung  model      quant  depth  prefill_av   decode_av");
+    for (q, rung) in infer.ladder().rungs().iter().enumerate() {
+        println!(
+            "  {q}   {:9}  {:5}  {:5}  {:8} ns {:9} ns",
+            rung.model.label(),
+            rung.quant.label(),
+            rung.batch_depth,
+            config.phase_av_ns(InferPhase::Prefill, *rung),
+            config.phase_av_ns(InferPhase::Decode, *rung),
+        );
+    }
+
+    // The coupling law, straight from the source: two draw-aligned runs
+    // that differ only in the co-batched admissions. The probed final
+    // decode runs at the top rung in both; deeper neighbours mean a
+    // deeper mean batch, and its decode visibly slows down.
+    let top = Quality::new(4);
+    let bottom = Quality::new(0);
+    let n_actions = infer.system().n_actions();
+    let target = n_actions - 1;
+    let mut shallow = infer.exec(0.0, 42);
+    let mut deep = infer.exec(0.0, 42);
+    let mut probed = (
+        speed_qm::core::time::Time::ZERO,
+        speed_qm::core::time::Time::ZERO,
+    );
+    for action in 0..n_actions {
+        let q = if action == target { top } else { bottom };
+        probed.0 = shallow.actual(0, action, q);
+        probed.1 = deep.actual(0, action, top);
+    }
+    println!(
+        "\ncoupling: factor(depth 1) = {:.2}, factor(depth 8) = {:.2}",
+        coupling_factor(1.0),
+        coupling_factor(8.0),
+    );
+    println!(
+        "final decode with co-batch at rung 0: {} ns, at rung 4: {} ns",
+        probed.0.as_ns(),
+        probed.1.as_ns(),
+    );
+    assert!(probed.1 > probed.0, "deeper co-batch must slow the decode");
+
+    let run = |mut source: &mut dyn ArrivalSource, config: StreamConfig| -> StreamSummary {
+        let manager = LookupManager::new(&regions);
+        let mut exec = infer.exec(0.1, 42);
+        StreamingRunner::new(config).run(
+            &mut Engine::new(infer.system(), manager, overhead::infer_regions()),
+            &mut source,
+            &mut exec,
+            &mut NullSink,
+        )
+    };
+
+    println!(
+        "\npattern                  arrived processed dropped backlog  avg_wait    max_latency avg_q"
+    );
+    let report = |name: &str, out: StreamSummary| -> StreamSummary {
+        println!(
+            "{name:24} {:7} {:9} {:7} {:7}  {:9.0}ns {:11}ns {:5.2}",
+            out.stats.arrived,
+            out.stats.processed,
+            out.stats.dropped,
+            out.stats.max_backlog,
+            out.stats.avg_wait_ns(),
+            out.stats.max_latency.as_ns(),
+            out.run.avg_quality(),
+        );
+        out
+    };
+
+    // Nominal arrival rate with the admission queue sized for the burst
+    // depth: periodic and bursty traffic are both lossless (bursts
+    // queue, the manager sheds quality rungs instead of requests).
+    let live = StreamConfig::live(6, OverloadPolicy::DropNewest);
+    report("periodic", run(&mut Periodic::new(period, batches), live));
+    let nominal = report(
+        "bursty <=6",
+        run(&mut Bursty::new(period, 6, batches, 7), live),
+    );
+    assert_eq!(
+        nominal.stats.dropped, 0,
+        "nominal rate is sustainable with a burst-deep queue"
+    );
+
+    // Overload: 1.43x the sustainable batch rate. Admission sheds whole
+    // batches; the manager also drops rungs on the ones it serves.
+    let hot = speed_qm::core::time::Time::from_ns(period.as_ns() * 7 / 10);
+    for policy in [
+        OverloadPolicy::Block,
+        OverloadPolicy::DropNewest,
+        OverloadPolicy::SkipToLatest,
+    ] {
+        report(
+            &format!("overload/{}", policy.label()),
+            run(
+                &mut Bursty::new(hot, 6, batches, 7),
+                StreamConfig::live(4, policy),
+            ),
+        );
+    }
+
+    // Both deadline classes really map to per-slot deadlines: count them.
+    let interactive = (0..config.requests_per_batch)
+        .filter(|&s| config.slo_class(s) == SloClass::Interactive)
+        .count();
+    println!(
+        "\ndeadline classes: {interactive} interactive (p99) + {} bulk (p999) per batch",
+        config.requests_per_batch - interactive,
+    );
+
+    // The equivalence the whole layer rests on: periodic + Block
+    // reproduces the closed loop exactly — including the shared batch
+    // account inside the execution source.
+    let closed = Engine::new(
+        infer.system(),
+        LookupManager::new(&regions),
+        overhead::infer_regions(),
+    )
+    .run_cycles(
+        batches,
+        period,
+        CycleChaining::ArrivalClamped,
+        &mut infer.exec(0.1, 42),
+        &mut NullSink,
+    );
+    let streamed = run(
+        &mut Periodic::new(period, batches),
+        StreamConfig::live(6, OverloadPolicy::Block),
+    );
+    assert_eq!(streamed.run, closed, "closed loop == periodic + Block");
+    println!("identity: streaming(periodic, Block) == closed loop ✓");
+}

@@ -57,6 +57,13 @@
 //!   quality level decomposes into DPI depth × cipher strength ×
 //!   compression effort, against deadlines derived from line-rate
 //!   budgets.
+//! * [`infer`] — a fourth domain, and the first with **batch-coupled**
+//!   execution times: an inference-serving engine (prefill → decode under
+//!   continuous batching) whose quality level decomposes into model
+//!   variant × quantization × admission depth, against p99/p999 SLO
+//!   ladders mapped onto per-action deadline classes. One request's
+//!   admission depth changes every co-batched neighbour's decode cost
+//!   (`infer::BatchCoupledExec`).
 //!
 //! See `ARCHITECTURE.md` at the repository root for how the layers stack
 //! (workloads → managers → engine → fleet → bench).
@@ -193,6 +200,7 @@ pub use sqm_core::elastic;
 pub use sqm_core::fleet;
 pub use sqm_core::source;
 pub use sqm_core::stream;
+pub use sqm_infer as infer;
 pub use sqm_mpeg as mpeg;
 pub use sqm_net as net;
 pub use sqm_platform as platform;

@@ -7,7 +7,7 @@
 //! one spec), and **Periodic + Block streaming**
 //! (`StreamingRunner`). They must agree **byte for byte** — one
 //! `RunSummary` semantics, no matter which path computed it — for *every*
-//! registered workload (MPEG, audio, net) under *both* [`CycleChaining`]
+//! registered workload (MPEG, audio, net, inference) under *both* [`CycleChaining`]
 //! variants, and over arbitrary feasible systems. This file replaces the
 //! per-path identity tests that used to be scattered across
 //! `tests/streaming.rs`, the fleet harness and the bench binaries'
@@ -21,7 +21,9 @@ use common::{arb_system, cycle_fraction_exec, OVERHEAD};
 use proptest::prelude::*;
 use speed_qm::core::prelude::*;
 use speed_qm::mpeg::EncoderConfig;
-use sqm_bench::{AudioExperiment, ManagerKind, NetExperiment, PaperExperiment, Workload};
+use sqm_bench::{
+    AudioExperiment, InferExperiment, ManagerKind, NetExperiment, PaperExperiment, Workload,
+};
 
 const JITTER: f64 = 0.1;
 const SEED: u64 = 11;
@@ -137,9 +139,8 @@ where
 
         // Path 6 — the elastic scheduler: per-cycle interleaving of many
         // live streams must reproduce the per-stream streaming fold under
-        // unbounded admission (modulo the scheduler-granular
-        // `max_backlog`, which is zeroed on both sides), byte-identically
-        // for every worker count.
+        // unbounded admission — the full struct, `max_backlog` included —
+        // byte-identically for every worker count.
         let elastic_streams = || -> Vec<_> {
             (0..3u64)
                 .map(|i| {
@@ -156,32 +157,22 @@ where
         };
         let serial_streams: Vec<StreamSummary> = (0..3u64)
             .map(|i| {
-                let mut s = w.run_streaming(
+                w.run_streaming(
                     config,
                     &mut Periodic::new(w.period(), CYCLES),
                     JITTER,
                     SEED + i,
                     &mut NullSink,
-                );
-                s.stats.max_backlog = 0;
-                s
+                )
             })
             .collect();
         let elastic_config = ElasticConfig::live()
             .with_chaining(chaining)
             .with_ring_capacity(2);
         let (elastic_one, _) = ElasticRunner::new(1, elastic_config).run(elastic_streams());
-        let flattened: Vec<StreamSummary> = elastic_one
-            .per_stream()
-            .iter()
-            .map(|s| {
-                let mut s = *s;
-                s.stats.max_backlog = 0;
-                s
-            })
-            .collect();
         assert_eq!(
-            flattened, serial_streams,
+            elastic_one.per_stream(),
+            &serial_streams[..],
             "{label} {chaining:?}: elastic(1) != per-stream streaming fold"
         );
         for workers in 2..=3 {
@@ -215,6 +206,15 @@ fn audio_workload_conforms_across_all_paths() {
 #[test]
 fn net_workload_conforms_across_all_paths() {
     assert_conformance(&NetExperiment::tiny(3));
+}
+
+/// The inference workload's execution source is *stateful* (the shared
+/// batch account in [`sqm_infer::BatchCoupledExec`]): conformance here
+/// proves the continuous-batching state replays byte-identically on
+/// every path, not just that the arithmetic agrees.
+#[test]
+fn infer_workload_conforms_across_all_paths() {
+    assert_conformance(&InferExperiment::tiny(3));
 }
 
 /// The MPEG harness's manager-specific paths (numeric and relaxation are
@@ -333,8 +333,7 @@ proptest! {
     /// The elastic scheduler over *arbitrary* feasible systems: for any
     /// worker count the full summary equals the 1-worker run byte for
     /// byte, and the 1-worker run reproduces the per-stream streaming
-    /// fold under unbounded admission (modulo scheduler-granular
-    /// `max_backlog`).
+    /// fold under unbounded admission, `max_backlog` included.
     #[test]
     fn elastic_agrees_on_arbitrary_systems(
         arb in arb_system(),
@@ -368,7 +367,7 @@ proptest! {
 
             let serial: Vec<StreamSummary> = (0..4)
                 .map(|_| {
-                    let mut s = StreamingRunner::new(StreamConfig {
+                    StreamingRunner::new(StreamConfig {
                         chaining,
                         capacity: 3,
                         policy: OverloadPolicy::Block,
@@ -378,21 +377,10 @@ proptest! {
                         &mut Periodic::new(period, cycles),
                         &mut cycle_fraction_exec(sys, &arb.fractions),
                         &mut NullSink,
-                    );
-                    s.stats.max_backlog = 0;
-                    s
+                    )
                 })
                 .collect();
-            let flattened: Vec<StreamSummary> = one
-                .per_stream()
-                .iter()
-                .map(|s| {
-                    let mut s = *s;
-                    s.stats.max_backlog = 0;
-                    s
-                })
-                .collect();
-            prop_assert_eq!(&flattened, &serial, "{:?}", chaining);
+            prop_assert_eq!(one.per_stream(), &serial[..], "{:?}", chaining);
         }
     }
 }

@@ -22,7 +22,7 @@ use speed_qm::core::time::Time;
 use speed_qm::core::trace::Trace;
 use speed_qm::mpeg::EncoderConfig;
 use speed_qm::platform::faults::{DriftExec, PreemptionExec};
-use sqm_bench::{AudioExperiment, NetExperiment, PaperExperiment, Workload};
+use sqm_bench::{AudioExperiment, InferExperiment, NetExperiment, PaperExperiment, Workload};
 
 const JITTER: f64 = 0.1;
 const SEED: u64 = 11;
@@ -108,6 +108,35 @@ fn mpeg_preemption_burst_trace_matches_golden() {
 #[test]
 fn net_trace_matches_golden() {
     check(&NetExperiment::tiny(3), "net");
+}
+
+#[test]
+fn infer_trace_matches_golden() {
+    check(&InferExperiment::tiny(3), "infer");
+}
+
+/// The serving regime end to end: bursty arrivals through the
+/// live-clamped streaming front-end with drop-newest admission. This
+/// pins the batch-coupled execution state *through* the queue — backlog
+/// clamping changes cycle starts, and a decode's coupled time depends on
+/// the admissions replayed before it, so a scheduling change anywhere in
+/// the front-end shows up as a trace diff.
+#[test]
+fn infer_burst_trace_matches_golden() {
+    use speed_qm::core::source::Bursty;
+
+    let w = InferExperiment::tiny(3);
+    let mut trace = Trace::default();
+    let out = w.run_streaming(
+        w.serve_config(4),
+        &mut Bursty::new(w.period(), 4, 6, SEED),
+        JITTER,
+        SEED,
+        &mut trace,
+    );
+    assert_eq!(out.stats.arrived, 6);
+    assert_eq!(out.stats.processed, trace.cycles.len());
+    assert_matches_golden("infer_burst.trace", &trace_to_string(&trace));
 }
 
 /// The binary fleet artifact is pinned byte-for-byte (as hex): row-pool
