@@ -41,6 +41,26 @@
 //! coupling law is probed directly: admitting co-batched requests at a
 //! deeper rung must never shorten another request's decode.
 //!
+//! Two further axes ride on every case:
+//!
+//! * the **admission axis** — the elastic scheduler under adversarial
+//!   all-at-once arrival traces with `global_capacity` swept over
+//!   `{0, 1, exact-fit, huge}`: the [`ShedLedger`](sqm_core::elastic::ShedLedger)
+//!   books must balance at every capacity, the aggregate backlog must
+//!   respect the bound, capacities at or above the unbounded run's peak
+//!   backlog must shed nothing and reproduce the unbounded results
+//!   byte-for-byte, and a *prompt* stream (one that is always idle at
+//!   its arrivals) must never be shed no matter how overloaded the rest
+//!   of the fleet is;
+//! * the **control axis** — the Blackwell approachability layer
+//!   ([`sqm_core::control`]): with the trivial safe set (`ℝ⁴`) the
+//!   [`ControlledManager`] is byte-identical to the baseline on the
+//!   serial, streaming and elastic paths under the scenario's fault;
+//!   with an active controller the averaged-payoff trajectory replays
+//!   deterministically and obeys the averaging step bound
+//!   `dist(t+1) ≤ dist(t) + diam/(t+1)`; and under a contract-honouring
+//!   fault at zero overhead a reachable safe set is never left at all.
+//!
 //! A **case** is one system × scenario × path invocation; [`run_case`]
 //! runs all paths for one generated pair and returns how many it
 //! executed. [`run_campaign`] sweeps seeds and, on the first oracle
@@ -52,6 +72,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sqm_core::action::ActionId;
 use sqm_core::compiler::{compile_regions, compile_relaxation};
+use sqm_core::control::{
+    standard_slate, ApproachabilityController, ControlSink, ControlledManager, PayoffCell,
+    PayoffSpec, SafeSet, PAYOFF_DIMS,
+};
 use sqm_core::controller::{ConstantExec, ExecutionTimeSource, OverheadModel};
 use sqm_core::elastic::{Admission, ElasticConfig, ElasticRunner, EngineDriver};
 use sqm_core::engine::{CycleChaining, Engine, NullSink};
@@ -60,7 +84,7 @@ use sqm_core::manager::{HotLookupManager, LookupManager, QualityManager, Relaxed
 use sqm_core::quality::Quality;
 use sqm_core::regions::QualityRegionTable;
 use sqm_core::relaxation::StepSet;
-use sqm_core::source::{ArrivalSource, Bursty, Jittered, Periodic};
+use sqm_core::source::{ArrivalSource, Bursty, Jittered, Periodic, TraceReplay};
 use sqm_core::stream::{OverloadPolicy, StreamConfig, StreamSummary, StreamingRunner};
 use sqm_core::system::{ParameterizedSystem, SystemBuilder};
 use sqm_core::time::Time;
@@ -538,7 +562,7 @@ impl FuzzCase {
 #[derive(Clone, Debug)]
 pub struct Violation {
     /// Which oracle part failed: `identity`, `safety`, `accounting`,
-    /// `monotonicity` or `artifact`.
+    /// `monotonicity`, `artifact` or `control`.
     pub oracle: &'static str,
     /// Human-readable mismatch description.
     pub detail: String,
@@ -892,6 +916,358 @@ pub fn run_case(case: &FuzzCase) -> Result<usize, Violation> {
     // ── Inference axis: the stateful batch-coupled source ───────────
     paths += check_infer(case)?;
 
+    // ── Admission axis: global-capacity sweep + adversarial traces ──
+    paths += check_admission(case, &sys, &regions)?;
+
+    // ── Control axis: the approachability layer ─────────────────────
+    paths += check_control(case, &sys, &regions)?;
+
+    Ok(paths)
+}
+
+/// Admission axis: the elastic shed ledger under adversarial arrival
+/// traces (every frame of every overloaded stream at `t = 0`) with
+/// `global_capacity` swept over `{0, 1, exact-fit, huge}`. *Exact-fit*
+/// is the unbounded run's own peak backlog — by construction no counted
+/// frame ever arrives at a backlog at or above it, so that capacity
+/// must shed nothing and reproduce the unbounded results byte-for-byte.
+/// The last stream is *prompt* (arrivals spaced 16 periods apart on an
+/// honest platform, so it is always idle when a frame lands): admission
+/// pressure from the rest of the fleet must never shed it.
+fn check_admission(
+    case: &FuzzCase,
+    sys: &ParameterizedSystem,
+    regions: &QualityRegionTable,
+) -> Result<usize, Violation> {
+    let scenario = &case.scenario;
+    let period = sys.final_deadline();
+    let cycles = scenario.cycles;
+    const OVERLOADED: u64 = 3;
+
+    let streams = || {
+        let mut v: Vec<(
+            TraceReplay,
+            EngineDriver<'_, LookupManager<'_>, AnyExec<'_>, NullSink>,
+        )> = (0..OVERLOADED)
+            .map(|i| {
+                (
+                    TraceReplay::new(vec![Time::ZERO; cycles]),
+                    EngineDriver::new(
+                        Engine::new(sys, LookupManager::new(regions), OVERHEAD),
+                        scenario.fault.with_seed_offset(i).exec(sys.table()),
+                        NullSink,
+                    ),
+                )
+            })
+            .collect();
+        let spaced = (0..cycles)
+            .map(|c| Time::from_ns(c as i64 * 16 * period.as_ns().max(1)))
+            .collect();
+        v.push((
+            TraceReplay::new(spaced),
+            EngineDriver::new(
+                Engine::new(sys, LookupManager::new(regions), OVERHEAD),
+                FaultKind::Honest.exec(sys.table()),
+                NullSink,
+            ),
+        ));
+        v
+    };
+    let run = |admission: Admission| {
+        let config = ElasticConfig::live()
+            .with_chaining(CycleChaining::ArrivalClamped)
+            .with_ring_capacity(4)
+            .with_admission(admission);
+        ElasticRunner::new(2, config).run(streams()).0
+    };
+
+    let total = (OVERLOADED as usize + 1) * cycles;
+    let unbounded = run(Admission::Unbounded);
+    let mut paths = 1usize;
+    oracle_eq!(
+        "accounting",
+        unbounded.ledger().shed,
+        0,
+        "unbounded admission shed frames"
+    );
+    let exact_fit = unbounded.ledger().peak_backlog;
+    for capacity in [0usize, 1, exact_fit, usize::MAX / 2] {
+        let out = run(Admission::DropNewest {
+            global_capacity: capacity,
+        });
+        paths += 1;
+        let ledger = *out.ledger();
+        oracle_eq!(
+            "accounting",
+            ledger.arrived,
+            total,
+            format!("capacity {capacity}: arrivals != frames emitted")
+        );
+        oracle_eq!(
+            "accounting",
+            ledger.admitted + ledger.shed,
+            ledger.arrived,
+            format!("capacity {capacity}: shed ledger doesn't balance")
+        );
+        oracle_eq!(
+            "accounting",
+            out.stats().processed,
+            ledger.admitted,
+            format!("capacity {capacity}: merged stats disagree with ledger (processed)")
+        );
+        oracle_eq!(
+            "accounting",
+            out.stats().dropped,
+            ledger.shed,
+            format!("capacity {capacity}: merged stats disagree with ledger (shed)")
+        );
+        oracle!(
+            "accounting",
+            ledger.peak_backlog <= capacity.max(exact_fit),
+            "capacity {capacity}: aggregate backlog {} exceeds the bound",
+            ledger.peak_backlog
+        );
+        let prompt = out.stream(OVERLOADED as usize);
+        oracle_eq!(
+            "accounting",
+            prompt.stats.dropped,
+            0,
+            format!("capacity {capacity}: prompt stream was shed")
+        );
+        oracle_eq!(
+            "accounting",
+            prompt.stats.processed,
+            cycles,
+            format!("capacity {capacity}: prompt stream lost frames")
+        );
+        if capacity >= exact_fit {
+            oracle_eq!(
+                "accounting",
+                ledger.shed,
+                0,
+                format!("capacity {capacity} >= exact-fit {exact_fit} must shed nothing")
+            );
+            oracle_eq!(
+                "identity",
+                out.per_stream().to_vec(),
+                unbounded.per_stream().to_vec(),
+                format!("capacity {capacity} >= exact-fit diverges from unbounded")
+            );
+        }
+        if capacity == 0 {
+            oracle_eq!(
+                "accounting",
+                ledger.peak_backlog,
+                0,
+                "capacity 0 must keep the aggregate backlog empty"
+            );
+        }
+    }
+    Ok(paths)
+}
+
+/// Control axis: the approachability layer over the generated system.
+/// With the trivial safe set the [`ControlledManager`] must be
+/// byte-identical to the baseline on the serial (records included),
+/// streaming and elastic paths under the scenario's fault. With an
+/// active controller the averaged-payoff trajectory must replay
+/// deterministically and obey the averaging step bound
+/// `dist(t+1) ≤ dist(t) + diam/(t+1)` (payoffs live in `[0, 1000]⁴`, so
+/// `diam = 2000`); and under a contract-honouring fault at zero
+/// overhead a reachable safe set is never left at all — the control
+/// analogue of the safety oracle.
+fn check_control(
+    case: &FuzzCase,
+    sys: &ParameterizedSystem,
+    regions: &QualityRegionTable,
+) -> Result<usize, Violation> {
+    let scenario = &case.scenario;
+    let period = sys.final_deadline();
+    let qmax = sys.qualities().max();
+    let trivial = || {
+        ControlledManager::new(
+            standard_slate(regions, &[], qmax),
+            ApproachabilityController::new(SafeSet::everything()),
+        )
+    };
+    let mut paths = 0usize;
+
+    // Serial: summaries and records byte-identical to the naive run.
+    let mut naive_trace = Trace::default();
+    let naive = drive(
+        sys,
+        LookupManager::new(regions),
+        scenario,
+        period,
+        &mut naive_trace,
+    );
+    let mut ctl_trace = Trace::default();
+    let controlled = drive(sys, trivial(), scenario, period, &mut ctl_trace);
+    paths += 1;
+    oracle_eq!(
+        "identity",
+        controlled,
+        naive,
+        "controlled(trivial) != naive"
+    );
+    for (a, b) in naive_trace.cycles.iter().zip(&ctl_trace.cycles) {
+        oracle_eq!(
+            "identity",
+            b.records,
+            a.records,
+            "controlled(trivial) records != naive"
+        );
+    }
+
+    // Streaming: Periodic + Block against the same fault.
+    {
+        let config = StreamConfig {
+            chaining: scenario.chaining,
+            capacity: 2,
+            policy: OverloadPolicy::Block,
+        };
+        let base = StreamingRunner::new(config).run(
+            &mut Engine::new(sys, LookupManager::new(regions), OVERHEAD),
+            &mut Periodic::new(period, scenario.cycles),
+            &mut scenario.fault.exec(sys.table()),
+            &mut NullSink,
+        );
+        let ctl = StreamingRunner::new(config).run(
+            &mut Engine::new(sys, trivial(), OVERHEAD),
+            &mut Periodic::new(period, scenario.cycles),
+            &mut scenario.fault.exec(sys.table()),
+            &mut NullSink,
+        );
+        paths += 1;
+        oracle_eq!(
+            "identity",
+            ctl,
+            base,
+            "controlled(trivial) streaming != baseline"
+        );
+    }
+
+    // Elastic: controlled drivers at 1 and 2 workers against naive.
+    {
+        let config = ElasticConfig::live()
+            .with_chaining(scenario.chaining)
+            .with_ring_capacity(2);
+        let naive_streams = || -> Vec<_> {
+            (0..2u64)
+                .map(|i| {
+                    (
+                        Periodic::new(period, scenario.cycles),
+                        EngineDriver::new(
+                            Engine::new(sys, LookupManager::new(regions), OVERHEAD),
+                            scenario.fault.with_seed_offset(i).exec(sys.table()),
+                            NullSink,
+                        ),
+                    )
+                })
+                .collect()
+        };
+        let ctl_streams = || -> Vec<_> {
+            (0..2u64)
+                .map(|i| {
+                    (
+                        Periodic::new(period, scenario.cycles),
+                        EngineDriver::new(
+                            Engine::new(sys, trivial(), OVERHEAD),
+                            scenario.fault.with_seed_offset(i).exec(sys.table()),
+                            NullSink,
+                        ),
+                    )
+                })
+                .collect()
+        };
+        let (base, _) = ElasticRunner::new(1, config).run(naive_streams());
+        for workers in 1..=2usize {
+            let (ctl, _) = ElasticRunner::new(workers, config).run(ctl_streams());
+            paths += 1;
+            oracle_eq!(
+                "identity",
+                ctl.per_stream().to_vec(),
+                base.per_stream().to_vec(),
+                format!("controlled(trivial) elastic({workers}) != baseline")
+            );
+        }
+    }
+
+    // Active controller over a reachable safe set: the floor rung (cap
+    // at qmin) never misses on an honest platform because the final
+    // deadline admits minimum quality by construction, so the slack
+    // bound of 100 milli is approachable.
+    let run_active = |overhead: OverheadModel| {
+        let cell = PayoffCell::new();
+        let spec = PayoffSpec::for_system(sys);
+        let set = SafeSet::bounded_box([0; PAYOFF_DIMS], [100, 1000, 1000, 1000]);
+        let manager = ControlledManager::new(
+            standard_slate(regions, &[], qmax),
+            ApproachabilityController::new(set),
+        )
+        .with_feed(&cell);
+        let mut engine = Engine::new(sys, manager, overhead);
+        let mut sink = ControlSink::new(&cell, spec);
+        let mut exec = scenario.fault.exec(sys.table());
+        let run = engine.run_cycles(
+            scenario.cycles,
+            period,
+            scenario.chaining,
+            &mut exec,
+            &mut sink,
+        );
+        let manager = engine.manager();
+        (
+            run,
+            manager.controller().trajectory().to_vec(),
+            manager.rung_switches(),
+            manager.controller().distance(),
+        )
+    };
+    let (run_a, traj_a, switches_a, dist_a) = run_active(OVERHEAD);
+    let (run_b, traj_b, switches_b, dist_b) = run_active(OVERHEAD);
+    paths += 2;
+    oracle_eq!(
+        "control",
+        run_b,
+        run_a,
+        "active controller run not deterministic"
+    );
+    oracle_eq!(
+        "control",
+        (&traj_b, switches_b, dist_b),
+        (&traj_a, switches_a, dist_a),
+        "active controller trajectory not deterministic"
+    );
+    for (i, w) in traj_a.windows(2).enumerate() {
+        // Observation i+2 moves the running average by at most diam/(i+2),
+        // and distance-to-a-convex-set is 1-Lipschitz.
+        let bound = w[0] + 2000.0 / (i as f64 + 2.0) + 1e-6;
+        let within_bound = w[1] <= bound;
+        oracle!(
+            "control",
+            within_bound,
+            "distance jumped past the averaging bound at round {}: {} -> {}",
+            i + 2,
+            w[0],
+            w[1]
+        );
+    }
+
+    // Stay-inside: honouring fault + zero overhead ⇒ no misses, no
+    // lateness, zero overhead ratio — every payoff lands inside the box,
+    // so the controller must never project, steer or accrue distance.
+    if scenario.fault.honours_contract(case.spec.n_actions()) {
+        let (run, traj, switches, dist) = run_active(OverheadModel::ZERO);
+        paths += 1;
+        oracle!(
+            "control",
+            run.misses == 0 && dist == 0.0 && switches == 0 && traj.iter().all(|&d| d == 0.0),
+            "reachable set left under honouring fault {:?}: misses={} dist={dist} switches={switches}",
+            scenario.fault,
+            run.misses
+        );
+    }
     Ok(paths)
 }
 
@@ -1297,6 +1673,18 @@ mod tests {
         let case = FuzzCase::generate(7);
         assert!(run_case(&case).is_ok());
         assert_eq!(minimize(&case), case);
+    }
+
+    /// A crafted worst-case overload exercises the admission and
+    /// control axes where they bite: all-at-once arrivals at worst-case
+    /// execution force real shedding in the capacity sweep, and the
+    /// contract-honouring fault arms the stay-inside control oracle.
+    #[test]
+    fn admission_and_control_axes_pass_on_crafted_overload() {
+        let mut case = FuzzCase::generate(3);
+        case.scenario.fault = FaultKind::WorstCase;
+        case.scenario.cycles = 6;
+        assert!(run_case(&case).is_ok(), "{:?}", run_case(&case).err());
     }
 
     /// The contract monitor actually witnesses violations for violating

@@ -44,11 +44,18 @@
 //!   sqm-bench --release --bin fuzz_smoke` is the CI smoke sweep;
 //!   `bench_faults` emits `BENCH_faults.json`, the trajectory's
 //!   robustness point: oracle throughput and recalibration latency).
+//! * [`control`] — the drifting-load scenario matrix for the
+//!   approachability control layer: shapes (ramp/step/walk/adversarial)
+//!   × workloads, static-exits vs controller-returns, `C/√t` envelope
+//!   checks (`cargo run -p sqm-bench --release --bin bench_control`
+//!   emits `BENCH_control.json`, the trajectory's graceful-degradation
+//!   point).
 //! * [`report`] — ASCII tables/plots for the figure binaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod control;
 pub mod elastic;
 pub mod fleet;
 pub mod fuzz;
@@ -59,6 +66,10 @@ pub mod report;
 pub mod streaming;
 pub mod workload;
 
+pub use control::{
+    run_control_matrix, run_control_scenario, ControlOutcome, ControlScenario, DriftShape,
+    ShapedExec,
+};
 pub use elastic::ElasticExperiment;
 pub use fleet::{FleetExperiment, FleetWorkload};
 pub use fuzz::{

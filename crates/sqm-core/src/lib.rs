@@ -80,7 +80,13 @@
 //! Beyond the paper: [`recalib`] — the online-recalibration seam
 //! ([`recalib::TableCell`] + [`recalib::AdaptiveLookupManager`]) that lets
 //! a freshly compiled region table be swapped in atomically at cycle
-//! boundaries while any runner is live.
+//! boundaries while any runner is live — and [`control`] — the
+//! Blackwell-approachability meta-controller
+//! ([`control::ApproachabilityController`] steering a
+//! [`control::ControlledManager`] slate at the same cycle-boundary seam)
+//! that keeps the time-averaged payoff (slack, quality, drops, overhead)
+//! inside a convex [`control::SafeSet`] at the O(1/√t) rate under
+//! non-stationary load.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -91,6 +97,7 @@ pub mod approx;
 pub mod arena;
 pub mod artifact;
 pub mod compiler;
+pub mod control;
 pub mod controller;
 pub mod elastic;
 pub mod engine;
@@ -123,6 +130,11 @@ pub mod prelude {
     pub use crate::compiler::{
         compile_regions, compile_regions_parallel, compile_relaxation, compile_relaxation_parallel,
         Compiled, TableStats,
+    };
+    pub use crate::control::{
+        standard_slate, ApproachabilityController, CappedManager, ControlSink, ControlledManager,
+        HalfSpace, PayoffCell, PayoffSpec, PayoffVector, Rung, SafeSet, DIM_DROPS, DIM_OVERHEAD,
+        DIM_QUALITY, DIM_SLACK, PAYOFF_DIMS,
     };
     pub use crate::controller::{
         ConstantExec, CycleRunner, CyclicRunner, ExecutionTimeSource, FnExec, OverheadModel,

@@ -44,4 +44,4 @@ pub use exec::{StochasticExec, ViolatingExec};
 pub use faults::{ClockRounding, ClockedManager, DriftExec, PreemptionExec};
 pub use load::{BurstLoad, CompositeLoad, ConstantLoad, LoadModel, RandomWalkLoad, SineLoad};
 pub use profiler::{ProfileConfig, Profiler};
-pub use recalib::{OnlineEstimator, RecalibratingExec, RecalibrationConfig};
+pub use recalib::{ControlTap, OnlineEstimator, RecalibratingExec, RecalibrationConfig};

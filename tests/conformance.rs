@@ -14,6 +14,13 @@
 //! inline gates; per the II-CC-FF idea of combining evidence across
 //! diverse sources, every workload added to the workspace doubles as an
 //! independent witness that the reductions agree.
+//!
+//! The approachability control layer joins the identity as path 7: a
+//! [`ControlledManager`] over the trivial safe set (`ℝ⁴` — the
+//! controller can never find the average outside) must be byte-identical
+//! to the plain baseline on every one of those paths, which pins the
+//! design claim that steering happens *only* at cycle boundaries and an
+//! inactive controller is free.
 
 mod common;
 
@@ -180,6 +187,96 @@ where
             assert_eq!(
                 elastic_n, elastic_one,
                 "{label} {chaining:?}: elastic({workers}) != elastic(1)"
+            );
+        }
+
+        // Path 7 — the approachability control layer with the trivial
+        // safe set (ℝ⁴): the averaged payoff is always inside, so the
+        // controller never steers off rung 0 and the `ControlledManager`
+        // must be byte-identical to the plain baseline on every path —
+        // serial (records included), streaming, fleet and elastic. This
+        // is the conformance face of the control design: steering is
+        // confined to the cycle boundary, so an inactive controller
+        // cannot perturb a single decision.
+        let trivial = || {
+            ControlledManager::new(
+                standard_slate(w.regions(), &[], w.system().qualities().max()),
+                ApproachabilityController::new(SafeSet::everything()),
+            )
+        };
+        let mut ctl_trace = speed_qm::core::trace::Trace::default();
+        let mut ctl_engine = Engine::new(w.system(), trivial(), w.overhead());
+        let ctl_serial = ctl_engine.run_cycles(
+            CYCLES,
+            w.period(),
+            chaining,
+            &mut w.exec_source(JITTER, SEED),
+            &mut ctl_trace,
+        );
+        assert_eq!(
+            ctl_serial, serial,
+            "{label} {chaining:?}: controlled(trivial) serial != serial"
+        );
+        assert_eq!(
+            ctl_engine.manager().rung_switches(),
+            0,
+            "{label} {chaining:?}"
+        );
+        for (a, b) in trace.cycles.iter().zip(&ctl_trace.cycles) {
+            assert_eq!(
+                a.records, b.records,
+                "{label} {chaining:?}: controlled(trivial) trace != serial trace"
+            );
+        }
+        let ctl_streamed = StreamingRunner::new(config).run(
+            &mut Engine::new(w.system(), trivial(), w.overhead()),
+            &mut Periodic::new(w.period(), CYCLES),
+            &mut w.exec_source(JITTER, SEED),
+            &mut NullSink,
+        );
+        assert_eq!(
+            ctl_streamed, streamed,
+            "{label} {chaining:?}: controlled(trivial) streaming != streaming"
+        );
+        let ctl_fleet_drive = |spec: &StreamSpec<()>, scratch: &mut StreamScratch| {
+            let mut exec = w.exec_source(JITTER, spec.seed);
+            let mut sink = speed_qm::core::engine::RecordBuffer::new(&mut scratch.records);
+            Engine::new(w.system(), trivial(), w.overhead()).run_cycles(
+                spec.cycles,
+                w.period(),
+                chaining,
+                &mut exec,
+                &mut sink,
+            )
+        };
+        for workers in 1..=2 {
+            let ctl_fleet = FleetRunner::new(workers).run(&specs, ctl_fleet_drive);
+            assert_eq!(
+                ctl_fleet, serial_fold,
+                "{label} {chaining:?}: controlled(trivial) fleet({workers}) != serial fold"
+            );
+        }
+        let ctl_elastic_streams = || -> Vec<_> {
+            (0..3u64)
+                .map(|i| {
+                    (
+                        Periodic::new(w.period(), CYCLES),
+                        EngineDriver::new(
+                            Engine::new(w.system(), trivial(), w.overhead()),
+                            w.exec_source(JITTER, SEED + i),
+                            NullSink,
+                        ),
+                    )
+                })
+                .collect()
+        };
+        for workers in 1..=2 {
+            let (ctl_elastic, _) =
+                ElasticRunner::new(workers, elastic_config).run(ctl_elastic_streams());
+            assert_eq!(
+                ctl_elastic.per_stream(),
+                elastic_one.per_stream(),
+                "{label} {chaining:?}: controlled(trivial) elastic({workers}) != elastic"
             );
         }
 

@@ -139,6 +139,62 @@ fn infer_burst_trace_matches_golden() {
     assert_matches_golden("infer_burst.trace", &trace_to_string(&trace));
 }
 
+/// Controller-on traces under drifting load. The snapshot pins not just
+/// the engine loop but the whole control stack's timing: payoff
+/// normalization, the running-average projection, the argmax tie-break
+/// and the cycle-boundary steering seam. A changed rung switch — one
+/// cycle earlier or later, or to a different rung — moves every
+/// subsequent decision and shows up as a diff.
+fn check_control_trace(shape: sqm_bench::DriftShape, cycles: usize, name: &str) {
+    use speed_qm::core::control::{
+        standard_slate, ApproachabilityController, ControlSink, ControlledManager, PayoffCell,
+        PayoffSpec,
+    };
+    use speed_qm::core::engine::Tee;
+    use sqm_bench::control::{matrix_safe_set, violating_peak_permille};
+    use sqm_bench::ShapedExec;
+
+    let w = mpeg_experiment();
+    let peak = violating_peak_permille(&w);
+    let mut exec = ShapedExec::new(
+        w.exec_source(JITTER, SEED),
+        shape.factors(cycles, peak, SEED),
+    );
+    let cell = PayoffCell::new();
+    let spec = PayoffSpec::for_system(w.system()).with_period(w.period());
+    let manager = ControlledManager::new(
+        standard_slate(w.regions(), &[], w.system().qualities().max()),
+        ApproachabilityController::new(matrix_safe_set()),
+    )
+    .with_feed(&cell);
+    let mut engine = Engine::new(w.system(), manager, w.overhead());
+    let mut trace = Trace::default();
+    let mut control = ControlSink::new(&cell, spec);
+    let run = engine.run_cycles(
+        cycles,
+        w.period(),
+        CycleChaining::ArrivalClamped,
+        &mut exec,
+        &mut Tee(&mut trace, &mut control),
+    );
+    assert_eq!(run.cycles, cycles);
+    assert!(
+        engine.manager().rung_switches() >= 1,
+        "snapshot must pin actual steering, not a quiet run"
+    );
+    assert_matches_golden(&format!("{name}.trace"), &trace_to_string(&trace));
+}
+
+#[test]
+fn control_step_trace_matches_golden() {
+    check_control_trace(sqm_bench::DriftShape::Step, 12, "control_step");
+}
+
+#[test]
+fn control_walk_trace_matches_golden() {
+    check_control_trace(sqm_bench::DriftShape::RandomWalk, 24, "control_walk");
+}
+
 /// The binary fleet artifact is pinned byte-for-byte (as hex): row-pool
 /// interning order, directory layout, header fields and checksum are all
 /// part of the wire contract, so any byte change — even a behaviorally
